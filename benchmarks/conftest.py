@@ -1,0 +1,33 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark runs its experiment exactly once through
+``benchmark.pedantic`` (a training sweep is not a microbenchmark), prints
+the paper-style table to stdout, and asserts the figure's qualitative
+claims.  Training runs are memoised in :mod:`repro.bench.harness`, so
+benchmarks that share workloads (Table 1 / Figure 1a / Figure 8) reuse each
+other's runs within one pytest session.
+
+Profiles: set ``REPRO_BENCH_PROFILE=full`` for larger graphs and
+paper-faithful patience (slower); the default ``quick`` profile finishes
+the whole suite in tens of minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import active_profile
+
+#: Node counts per dataset (paper: FB15K up to 8, FB250K up to 16).
+FB15K_NODES = [1, 2, 4, 8]
+FB250K_NODES = [1, 2, 4, 8, 16]
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return active_profile()
+
+
+def run_once_benchmarked(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

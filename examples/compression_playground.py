@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Compression playground: inspect what each wire format does to a gradient.
+
+Walks one real gradient matrix through the paper's compression pipeline —
+row selection, 1-bit and 2-bit quantization — printing the wire size and
+reconstruction error of every stage.  Useful for building intuition about
+why 1-bit + selection wins in the paper's Figure 5.
+
+Run:  python examples/compression_playground.py
+"""
+
+import numpy as np
+
+from repro import make_tiny_kg
+from repro.comm.payload import dense_bytes
+from repro.compress import (
+    dequantize,
+    quantize_1bit,
+    quantize_2bit,
+    random_selection,
+    threshold_selection,
+)
+from repro.kg.negative import corrupt_batch, select_all
+from repro.models import ComplEx
+from repro.models.loss import logistic_loss
+
+
+def relative_error(original, approx) -> float:
+    denom = np.linalg.norm(original.to_dense())
+    if denom == 0:
+        return 0.0
+    return float(np.linalg.norm(original.to_dense() - approx.to_dense())
+                 / denom)
+
+
+def main() -> None:
+    store = make_tiny_kg(n_entities=200, n_relations=12, n_triples=3000)
+    model = ComplEx(store.n_entities, store.n_relations, 32, seed=0)
+    rng = np.random.default_rng(0)
+
+    # One realistic training gradient.
+    pos = store.train.subset(rng.integers(0, len(store.train), 512))
+    neg = corrupt_batch(pos, store.n_entities, k=2, rng=rng)
+    nh, nr, nt = select_all(neg)
+    h = np.concatenate([pos.heads, nh])
+    r = np.concatenate([pos.relations, nr])
+    t = np.concatenate([pos.tails, nt])
+    labels = np.concatenate([np.ones(len(pos)), -np.ones(len(nh))])
+    _, upstream = logistic_loss(model.score(h, r, t), labels)
+    grad, _ = model.batch_gradients(h, r, t, upstream)
+
+    dense = dense_bytes(grad.n_rows, grad.dim)
+    print(f"entity gradient: {grad.nnz_rows}/{grad.n_rows} non-zero rows, "
+          f"width {grad.dim}")
+    print(f"\n{'stage':>28} {'bytes':>10} {'vs dense':>9} {'rel. error':>11}")
+    print("-" * 62)
+
+    def show(name, nbytes, err):
+        print(f"{name:>28} {nbytes:>10,} {dense / nbytes:>8.1f}x {err:>11.3f}")
+
+    show("dense allreduce", dense, 0.0)
+    show("sparse rows (allgather)", grad.nbytes_wire, 0.0)
+
+    selected, stats = random_selection(grad, rng)
+    show(f"random selection ({stats.sparsity:.0%} dropped)",
+         selected.nbytes_wire, relative_error(grad, selected))
+
+    avg_sel, avg_stats = threshold_selection(grad, 1.0)
+    show(f"avg threshold ({avg_stats.sparsity:.0%} dropped)",
+         avg_sel.nbytes_wire, relative_error(grad, avg_sel))
+
+    q1 = quantize_1bit(grad, stat="max")
+    show("1-bit (sign * max)", q1.nbytes_wire,
+         relative_error(grad, dequantize(q1)))
+
+    q2 = quantize_2bit(grad, rng=rng)
+    show("2-bit (TernGrad-mean)", q2.nbytes_wire,
+         relative_error(grad, dequantize(q2)))
+
+    q1s = quantize_1bit(selected, stat="max")
+    show("selection + 1-bit", q1s.nbytes_wire,
+         relative_error(grad, dequantize(q1s)))
+
+    print("\nThe paper's chosen combination (selection + 1-bit) trades a "
+          "bounded\nreconstruction error for a ~30-60x smaller payload; "
+          "relation partition\nthen removes the relation matrix from the "
+          "wire entirely.")
+
+
+if __name__ == "__main__":
+    main()

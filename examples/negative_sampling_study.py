@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Negative-sampling study: the paper's "1 out of n" sample selection.
+
+For a fixed workload, sweeps the number of sampled candidates ``n`` and
+compares training on the single hardest candidate (1-of-n, Section 4.5)
+against training on all of them (n-of-n).  Reproduces the paper's Table 4 /
+Figure 7 narrative: 1-of-n converges in fewer epochs, costs only an extra
+forward pass, and improves MRR — while n-of-n pays n backward passes and
+suffers from class imbalance.
+
+Run:  python examples/negative_sampling_study.py
+"""
+
+from repro import StrategyConfig, TrainConfig, make_fb15k_like, train
+from repro.bench import BENCH_NETWORK
+
+
+def main() -> None:
+    store = make_fb15k_like(scale=0.02)
+    print(f"dataset: {store.summary()}")
+
+    config = TrainConfig(
+        dim=16, batch_size=256, base_lr=2.5e-3, max_epochs=70,
+        lr_patience=6, lr_warmup_epochs=15, eval_max_queries=100,
+        time_scale=2.0e5,
+    )
+    n_nodes = 2  # the paper's Table 4 uses 2 nodes
+
+    rows = []
+    for n in (1, 5, 10, 20):
+        one_of_n = StrategyConfig(
+            comm_mode="allgather", selection="random", quantization_bits=1,
+            sample_selection=n > 1, negatives_sampled=n, negatives_used=1)
+        rows.append((f"1 out of {n}",
+                     train(store, one_of_n, n_nodes, config=config,
+                           network=BENCH_NETWORK)))
+    for n in (5, 10):
+        n_of_n = StrategyConfig(
+            comm_mode="allgather", selection="random", quantization_bits=1,
+            negatives_sampled=n, negatives_used=n)
+        rows.append((f"{n} out of {n}",
+                     train(store, n_of_n, n_nodes, config=config,
+                           network=BENCH_NETWORK)))
+
+    header = f"{'sampling':>14} {'TT (h)':>8} {'epochs':>7} {'MRR':>6} {'TCA':>6}"
+    print("\n" + header)
+    print("-" * len(header))
+    for name, r in rows:
+        print(f"{name:>14} {r.total_hours:>8.2f} {r.epochs:>7d} "
+              f"{r.test_mrr:>6.3f} {r.test_tca:>6.1f}")
+
+    print("\npaper (Table 4, FB15K on 2 nodes): 1-of-10 reached MRR 0.61 in "
+          "229 epochs;\n10-of-10 needed 344 epochs for MRR 0.59 at ~2.7x the "
+          "training time.")
+
+
+if __name__ == "__main__":
+    main()

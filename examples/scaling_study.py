@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Scaling study: how each strategy behaves as the cluster grows.
+
+Reproduces the paper's core scalability narrative on an FB250K-like
+workload: the all-gather baseline stops scaling (its volume grows with the
+node count), all-reduce scales until the epoch count blows up, and the
+combined method keeps both the epoch time and the epoch count down.
+
+Run:  python examples/scaling_study.py [max_nodes]
+"""
+
+import sys
+
+from repro import (
+    TrainConfig,
+    baseline_allgather,
+    baseline_allreduce,
+    drs_1bit,
+    drs_1bit_rp_ss,
+    make_fb250k_like,
+    train,
+)
+from repro.bench import BENCH_NETWORK
+
+
+def main(max_nodes: int = 8) -> None:
+    store = make_fb250k_like(scale=0.002)
+    print(f"dataset: {store.summary()}")
+
+    config = TrainConfig(
+        dim=16, batch_size=256, base_lr=2.5e-3, max_epochs=60,
+        lr_patience=6, lr_warmup_epochs=12, eval_max_queries=80,
+        time_scale=2.0e5,
+    )
+
+    strategies = {
+        "allreduce": baseline_allreduce(negatives=1),
+        "allgather": baseline_allgather(negatives=1),
+        "DRS+1-bit": drs_1bit(negatives=1),
+        "full (DRS+1-bit+RP+SS)": drs_1bit_rp_ss(negatives_sampled=5),
+    }
+
+    node_counts = [p for p in (1, 2, 4, 8, 16) if p <= max_nodes]
+    header = (f"{'method':>24} " +
+              " ".join(f"{'p=' + str(p):>9}" for p in node_counts))
+    print("\ntotal training time (simulated hours)")
+    print(header)
+    print("-" * len(header))
+    results = {}
+    for name, strategy in strategies.items():
+        row = [train(store, strategy, p, config=config, network=BENCH_NETWORK)
+               for p in node_counts]
+        results[name] = row
+        print(f"{name:>24} " +
+              " ".join(f"{r.total_hours:>9.2f}" for r in row))
+
+    print("\nepochs to convergence")
+    print(header)
+    print("-" * len(header))
+    for name, row in results.items():
+        print(f"{name:>24} " + " ".join(f"{r.epochs:>9d}" for r in row))
+
+    print("\ncommunication volume (MB)")
+    print(header)
+    print("-" * len(header))
+    for name, row in results.items():
+        print(f"{name:>24} " +
+              " ".join(f"{r.bytes_total / 1e6:>9.1f}" for r in row))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

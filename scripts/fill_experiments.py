@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Fill EXPERIMENTS.md's MEASURED_* placeholders from a benchmark log.
+
+Usage:  python scripts/fill_experiments.py bench_output.txt EXPERIMENTS.md
+
+The benchmark suite prints each table/figure under a ``=== title ===``
+banner; this script slices the log into sections and substitutes them into
+the corresponding placeholder as fenced code blocks.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+#: placeholder -> list of section-title prefixes to include, in order.
+PLACEHOLDERS = {
+    "MEASURED_TABLE1": ["Table 1: FB15K baseline [all-reduce]",
+                        "Table 1: FB15K baseline [all-gather]"],
+    "MEASURED_TABLE2": ["Table 2: FB250K baseline [all-reduce]",
+                        "Table 2: FB250K baseline [all-gather]"],
+    "MEASURED_TABLE4": ["Table 4: sample selection"],
+    "MEASURED_FIG2": ["Fig 2: non-zero gradient rows"],
+    "MEASURED_FIG3": ["Fig 3: selection thresholds"],
+    "MEASURED_FIG4": ["Fig 4: 2-bit quantization"],
+    "MEASURED_FIG5": ["Fig 5a: total time", "Fig 5b: MRR"],
+    "MEASURED_FIG6": ["Fig 6a: TCA proxy", "Fig 6b: epoch time"],
+    "MEASURED_FIG7": ["Fig 7b: total time", "Fig 7c: MRR vs n",
+                      "Fig 7d: epochs vs n"],
+    "MEASURED_FIG8": ["Fig 8a: total time", "Fig 8b: epochs", "Fig 8c: MRR"],
+    "MEASURED_FIG9": ["Fig 9a: total time", "Fig 9b: epochs", "Fig 9c: MRR"],
+    "MEASURED_SUMMARY": ["Section 5.3 summary"],
+}
+
+SECTION_RE = re.compile(r"^=== (.+?) ===$")
+
+
+def parse_sections(log_text: str) -> dict[str, str]:
+    """Split the log into {title: body} at the banner lines."""
+    sections: dict[str, str] = {}
+    title = None
+    body: list[str] = []
+    for line in log_text.splitlines():
+        m = SECTION_RE.match(line.strip())
+        if m:
+            if title is not None:
+                sections[title] = "\n".join(body).rstrip()
+            title = m.group(1)
+            body = []
+        elif title is not None:
+            # Stop a section at pytest progress output.
+            if line.strip() in {".", "F", "E"} or line.startswith("====="):
+                sections[title] = "\n".join(body).rstrip()
+                title = None
+                body = []
+            else:
+                body.append(line)
+    if title is not None:
+        sections[title] = "\n".join(body).rstrip()
+    return sections
+
+
+def find_section(sections: dict[str, str], prefix: str) -> str | None:
+    for title, body in sections.items():
+        if title.startswith(prefix):
+            return f"=== {title} ===\n{body}"
+    return None
+
+
+def fill(md_text: str, sections: dict[str, str]) -> tuple[str, list[str]]:
+    missing: list[str] = []
+    for placeholder, prefixes in PLACEHOLDERS.items():
+        chunks = []
+        for prefix in prefixes:
+            found = find_section(sections, prefix)
+            if found is None:
+                missing.append(prefix)
+            else:
+                chunks.append(found)
+        replacement = "```\n" + "\n\n".join(chunks) + "\n```" if chunks \
+            else f"*(section not found in benchmark log: {prefixes})*"
+        md_text = md_text.replace(placeholder, replacement)
+    return md_text, missing
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    log_path, md_path = argv[1], argv[2]
+    with open(log_path) as fh:
+        sections = parse_sections(fh.read())
+    with open(md_path) as fh:
+        md = fh.read()
+    filled, missing = fill(md, sections)
+    with open(md_path, "w") as fh:
+        fh.write(filled)
+    if missing:
+        print(f"warning: sections not found: {missing}", file=sys.stderr)
+    print(f"filled {md_path} from {log_path} "
+          f"({len(sections)} sections parsed)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Final packaging: capture test + benchmark outputs and fill EXPERIMENTS.md.
+# Usage: sh scripts/finalize.sh [bench_log]
+set -e
+cd "$(dirname "$0")/.."
+BENCH_LOG="${1:-/tmp/bench_run5.log}"
+cp "$BENCH_LOG" bench_output.txt
+python scripts/fill_experiments.py bench_output.txt EXPERIMENTS.md
+python -m pytest tests/ 2>&1 | tee test_output.txt | tail -1
+echo "finalized: bench_output.txt, test_output.txt, EXPERIMENTS.md"

@@ -1,0 +1,44 @@
+"""Benchmark harness, calibration, and the paper's reference numbers."""
+
+from . import paper, report
+from .calibration import (
+    BENCH_NETWORK,
+    FULL,
+    PROFILES,
+    QUICK,
+    BenchProfile,
+    active_profile,
+    train_config,
+)
+from .harness import (
+    bench_store,
+    monotonically_decreasing,
+    print_baseline_table,
+    print_series,
+    print_table,
+    reduction,
+    run_once,
+    sweep,
+    trend_slope,
+)
+
+__all__ = [
+    "BENCH_NETWORK",
+    "BenchProfile",
+    "FULL",
+    "PROFILES",
+    "QUICK",
+    "active_profile",
+    "bench_store",
+    "monotonically_decreasing",
+    "paper",
+    "report",
+    "print_baseline_table",
+    "print_series",
+    "print_table",
+    "reduction",
+    "run_once",
+    "sweep",
+    "train_config",
+    "trend_slope",
+]

@@ -1,0 +1,97 @@
+"""Terminal plotting for benchmark series (no plotting library needed).
+
+The benchmarks print numeric tables; these helpers add a quick visual for
+interactive use — line charts rendered with unicode block characters, plus
+sparklines for inline trend display.  Deliberately dependency-free so the
+offline environment can still "see" the figures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend display, e.g. ``▁▂▅█▆``."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("sparkline needs at least one value")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK_CHARS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def line_chart(series: dict[str, Sequence[float]],
+               xs: Sequence | None = None,
+               width: int = 60, height: int = 12,
+               title: str = "") -> str:
+    """A multi-series ASCII line chart.
+
+    Each series gets a marker character; points are projected onto a
+    ``width x height`` grid with min-max scaling shared across series.
+    """
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must share one length")
+    n = lengths.pop()
+    if n < 2:
+        raise ValueError("need at least two points to draw a line")
+    if width < 8 or height < 3:
+        raise ValueError("chart too small")
+
+    all_values = [float(v) for vs in series.values() for v in vs]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+
+    markers = "*o+x#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    for (name, values), marker in zip(series.items(), markers):
+        for i, v in enumerate(values):
+            col = int(i / (n - 1) * (width - 1))
+            row = int((float(v) - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.3g}"
+    bottom_label = f"{lo:.3g}"
+    label_w = max(len(top_label), len(bottom_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_label.rjust(label_w)
+        elif i == height - 1:
+            label = bottom_label.rjust(label_w)
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * label_w + " +" + "-" * width
+    lines.append(axis)
+    if xs is not None:
+        if len(xs) != n:
+            raise ValueError("xs must match series length")
+        x_line = (" " * (label_w + 2) + str(xs[0])
+                  + str(xs[-1]).rjust(width - len(str(xs[0]))))
+        lines.append(x_line)
+    legend = "  ".join(f"{marker}={name}"
+                       for (name, _), marker in zip(series.items(), markers))
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)
+
+
+def print_chart(series: dict[str, Sequence[float]],
+                xs: Sequence | None = None, title: str = "",
+                width: int = 60, height: int = 12) -> None:
+    """Render and print a chart (convenience wrapper)."""
+    print(line_chart(series, xs=xs, width=width, height=height, title=title))

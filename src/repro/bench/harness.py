@@ -1,0 +1,144 @@
+"""Experiment harness: run strategy sweeps and print paper-style tables.
+
+Every benchmark file builds on these helpers so each table/figure is a small
+declarative description: dataset, strategies, node counts.  Datasets and
+training runs are cached per-process keyed by their full parameterisation,
+because several figures share workloads (e.g. Table 1 and Figures 1a/8 use
+the same baseline runs).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..comm.network import NetworkModel
+from ..kg.datasets import make_fb15k_like, make_fb250k_like
+from ..kg.triples import TripleStore
+from ..training.strategy import StrategyConfig
+from ..training.trainer import DistributedTrainer, TrainConfig
+from ..training.metrics import TrainResult
+from .calibration import BENCH_NETWORK, active_profile, train_config
+
+_STORE_CACHE: dict = {}
+_RUN_CACHE: dict = {}
+
+
+def bench_store(which: str, scale: float | None = None,
+                seed: int | None = None) -> TripleStore:
+    """Cached dataset for the active profile (``which`` in fb15k/fb250k)."""
+    profile = active_profile()
+    if which == "fb15k":
+        scale = scale if scale is not None else profile.fb15k_scale
+        maker = make_fb15k_like
+    elif which == "fb250k":
+        scale = scale if scale is not None else profile.fb250k_scale
+        maker = make_fb250k_like
+    else:
+        raise ValueError(f"unknown dataset {which!r}; use 'fb15k' or 'fb250k'")
+    key = (which, scale, seed)
+    if key not in _STORE_CACHE:
+        kwargs = {} if seed is None else {"seed": seed}
+        _STORE_CACHE[key] = maker(scale=scale, **kwargs)
+    return _STORE_CACHE[key]
+
+
+def run_once(store: TripleStore, strategy: StrategyConfig, n_nodes: int,
+             config: TrainConfig | None = None,
+             network: NetworkModel | None = None) -> TrainResult:
+    """Train one configuration, memoised on its full parameterisation."""
+    config = config or train_config(active_profile())
+    network = network or BENCH_NETWORK
+    key = (id(store), strategy, n_nodes, tuple(sorted(vars(config).items())),
+           network)
+    if key not in _RUN_CACHE:
+        _RUN_CACHE[key] = DistributedTrainer(
+            store, strategy, n_nodes, config=config, network=network).run()
+    return _RUN_CACHE[key]
+
+
+def sweep(store: TripleStore, strategies: dict[str, StrategyConfig],
+          node_counts: list[int],
+          config: TrainConfig | None = None) -> dict[str, list[TrainResult]]:
+    """Run every (strategy, node-count) cell; return results per strategy."""
+    return {
+        name: [run_once(store, strat, p, config=config) for p in node_counts]
+        for name, strat in strategies.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Printing
+# ---------------------------------------------------------------------------
+
+def print_table(title: str, header: list[str], rows: list[list],
+                widths: list[int] | None = None) -> None:
+    """Aligned plain-text table (what the benchmark stdout shows)."""
+    widths = widths or [max(len(str(h)), 10) for h in header]
+    line = "  ".join(f"{h:>{w}}" for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        cells = []
+        for value, w in zip(row, widths):
+            if isinstance(value, float):
+                if value != 0.0 and abs(value) < 5e-3:
+                    cells.append(f"{value:>{w}.2e}")
+                else:
+                    cells.append(f"{value:>{w}.3f}")
+            else:
+                cells.append(f"{str(value):>{w}}")
+        print("  ".join(cells))
+
+
+def print_baseline_table(title: str, results_ar: list[TrainResult],
+                         results_ag: list[TrainResult],
+                         paper_ar, paper_ag) -> None:
+    """Tables 1/2 format: measured next to the paper's numbers."""
+    header = ["nodes", "TT(h)", "N", "TCA", "MRR",
+              "paper TT", "paper N", "paper TCA", "paper MRR"]
+    for label, results, paper in (("all-reduce", results_ar, paper_ar),
+                                  ("all-gather", results_ag, paper_ag)):
+        rows = []
+        for res, ref in zip(results, paper):
+            rows.append([res.n_nodes, res.total_hours, res.epochs,
+                         res.test_tca, res.test_mrr,
+                         ref.tt_hours, ref.epochs, ref.tca, ref.mrr])
+        print_table(f"{title} [{label}]", header, rows)
+
+
+def print_series(title: str, x_label: str, xs: list,
+                 series: dict[str, list[float]]) -> None:
+    """Figure format: one x column plus one column per curve."""
+    header = [x_label] + list(series)
+    rows = [[x] + [series[name][i] for name in series]
+            for i, x in enumerate(xs)]
+    print_table(title, header, rows)
+
+
+# ---------------------------------------------------------------------------
+# Shape checks (the qualitative claims benchmarks assert)
+# ---------------------------------------------------------------------------
+
+def monotonically_decreasing(values, tolerance: float = 0.0) -> bool:
+    """True if the sequence trends down (each step may regress <= tolerance)."""
+    values = list(values)
+    return all(b <= a + tolerance for a, b in zip(values, values[1:]))
+
+
+def trend_slope(values) -> float:
+    """Least-squares slope of a series against its index."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if len(values) < 2:
+        return 0.0
+    x = np.arange(len(values), dtype=np.float64)
+    return float(np.polyfit(x, values, 1)[0])
+
+
+def reduction(baseline: float, improved: float) -> float:
+    """Fractional reduction of ``improved`` relative to ``baseline``."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 1.0 - improved / baseline

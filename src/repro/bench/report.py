@@ -1,0 +1,71 @@
+"""Render benchmark results as Markdown (used to build EXPERIMENTS.md).
+
+The harness prints plain-text tables to stdout for interactive runs; this
+module renders the same data as Markdown tables and paper-vs-measured
+sections so results can be committed as documentation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..training.metrics import TrainResult
+
+
+def markdown_table(header: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """A GitHub-flavoured Markdown table."""
+    if not header:
+        raise ValueError("header must not be empty")
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            if value != 0 and abs(value) < 5e-3:
+                return f"{value:.2e}"
+            return f"{value:.3f}"
+        return str(value)
+
+    lines = ["| " + " | ".join(str(h) for h in header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        if len(row) != len(header):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(header)}")
+        lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def results_table(results: Sequence[TrainResult],
+                  paper_rows: Sequence | None = None) -> str:
+    """Paper-style TT/N/TCA/MRR table, optionally with reference columns."""
+    if paper_rows is not None and len(paper_rows) != len(results):
+        raise ValueError("paper_rows must align with results")
+    if paper_rows is None:
+        header = ["nodes", "TT (h)", "N", "TCA", "MRR"]
+        rows = [[r.n_nodes, r.total_hours, r.epochs, r.test_tca, r.test_mrr]
+                for r in results]
+    else:
+        header = ["nodes", "TT (h)", "N", "TCA", "MRR",
+                  "paper TT", "paper N", "paper TCA", "paper MRR"]
+        rows = [[r.n_nodes, r.total_hours, r.epochs, r.test_tca, r.test_mrr,
+                 p.tt_hours, p.epochs, p.tca, p.mrr]
+                for r, p in zip(results, paper_rows)]
+    return markdown_table(header, rows)
+
+
+def series_table(x_label: str, xs: Sequence,
+                 series: dict[str, Sequence[float]]) -> str:
+    """One x column plus one column per named curve."""
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ValueError(f"series {name!r} length != x axis length")
+    header = [x_label] + list(series)
+    rows = [[x] + [series[name][i] for name in series]
+            for i, x in enumerate(xs)]
+    return markdown_table(header, rows)
+
+
+def comparison_line(label: str, measured: float, paper: float,
+                    unit: str = "") -> str:
+    """A one-line paper-vs-measured bullet."""
+    return (f"- **{label}**: measured {measured:.3g}{unit} "
+            f"vs paper {paper:.3g}{unit}")

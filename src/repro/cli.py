@@ -1,0 +1,102 @@
+"""Command-line interface: train one configuration and print the summary.
+
+Examples
+--------
+
+Train the paper's full method on a simulated 4-node cluster::
+
+    python -m repro --dataset fb15k --scale 0.02 --strategy DRS+1-bit+RP+SS \
+        --nodes 4 --dim 16 --max-epochs 60
+
+Compare against the baseline::
+
+    python -m repro --dataset fb15k --scale 0.02 --strategy allreduce --nodes 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .bench.calibration import BENCH_NETWORK
+from .config import DEFAULT_SEED
+from .kg.datasets import load_store, make_fb15k_like, make_fb250k_like
+from .training.strategy import PRESETS
+from .training.trainer import TrainConfig, train
+
+DATASETS = {"fb15k": make_fb15k_like, "fb250k": make_fb250k_like}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Dynamic Strategies for High "
+                    "Performance Training of Knowledge Graph Embeddings' "
+                    "(ICPP 2022)")
+    parser.add_argument("--dataset", choices=sorted(DATASETS), default="fb15k",
+                        help="synthetic dataset family (default: fb15k)")
+    parser.add_argument("--dataset-file", metavar="PATH",
+                        help="load a dataset saved with repro.kg.save_store "
+                             "instead of generating one")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="dataset scale factor in (0, 1] (default: 0.02)")
+    parser.add_argument("--strategy", choices=sorted(PRESETS),
+                        default="allreduce",
+                        help="strategy preset, Table 5 vocabulary")
+    parser.add_argument("--nodes", type=int, default=1,
+                        help="simulated cluster size (default: 1)")
+    parser.add_argument("--negatives", type=int, default=None,
+                        help="negatives per positive (preset default if "
+                             "omitted)")
+    parser.add_argument("--dim", type=int, default=16)
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument("--lr", type=float, default=2.5e-3)
+    parser.add_argument("--max-epochs", type=int, default=60)
+    parser.add_argument("--patience", type=int, default=6)
+    parser.add_argument("--warmup", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON instead of text")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.dataset_file:
+        store = load_store(args.dataset_file)
+    else:
+        store = DATASETS[args.dataset](scale=args.scale, seed=args.seed)
+
+    maker = PRESETS[args.strategy]
+    strategy = maker(args.negatives) if args.negatives is not None else maker()
+
+    config = TrainConfig(dim=args.dim, batch_size=args.batch_size,
+                         base_lr=args.lr, max_epochs=args.max_epochs,
+                         lr_patience=args.patience,
+                         lr_warmup_epochs=args.warmup, seed=args.seed,
+                         time_scale=2.0e5)
+
+    if not args.json:
+        print(f"dataset : {store.summary()}")
+        print(f"strategy: {args.strategy} on {args.nodes} simulated node(s)")
+    result = train(store, strategy, args.nodes, config=config,
+                   network=BENCH_NETWORK)
+
+    row = result.summary_row()
+    row.update(converged=result.converged,
+               bytes_communicated=result.bytes_total,
+               allreduce_fraction=round(result.allreduce_fraction, 3))
+    if args.json:
+        json.dump(row, sys.stdout, indent=2)
+        print()
+    else:
+        print()
+        for key, value in row.items():
+            print(f"{key:>20}: {value}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

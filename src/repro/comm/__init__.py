@@ -1,0 +1,48 @@
+"""Simulated distributed-communication substrate (the paper's Horovod/MPI)."""
+
+from .collectives import (
+    ALLGATHER_ALGOS,
+    ALLREDUCE_ALGOS,
+    allgather_objects,
+    allgather_sparse,
+    allgatherv_bytes,
+    allreduce,
+    allreduce_scalar,
+    broadcast,
+)
+from .network import DEFAULT_NETWORK, NetworkModel
+from .payload import (
+    compression_ratio,
+    dense_bytes,
+    quantized_rows_bytes,
+    sparse_rows_bytes,
+)
+from .simulator import Cluster, CommRecord, CommStats
+from .topology import HierarchicalNetwork
+from .tracing import ClusterTracer, TraceEvent
+from .sparse import SparseRows, combine_sparse
+
+__all__ = [
+    "ALLGATHER_ALGOS",
+    "ALLREDUCE_ALGOS",
+    "Cluster",
+    "CommRecord",
+    "CommStats",
+    "ClusterTracer",
+    "HierarchicalNetwork",
+    "TraceEvent",
+    "DEFAULT_NETWORK",
+    "NetworkModel",
+    "SparseRows",
+    "allgather_objects",
+    "allgather_sparse",
+    "allgatherv_bytes",
+    "allreduce",
+    "allreduce_scalar",
+    "broadcast",
+    "combine_sparse",
+    "compression_ratio",
+    "dense_bytes",
+    "quantized_rows_bytes",
+    "sparse_rows_bytes",
+]

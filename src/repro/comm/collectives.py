@@ -1,0 +1,177 @@
+"""Collective operations over a simulated :class:`~repro.comm.simulator.Cluster`.
+
+Each collective takes the per-rank payloads, performs the *real* data
+combination in NumPy, charges the algorithm-aware modeled time to the
+cluster, and returns what every rank would hold afterwards.  Supported
+algorithms mirror what Cray MPICH / Horovod would pick:
+
+* allreduce: ``ring`` (default, bandwidth-optimal) or ``recursive_doubling``
+* allgatherv: ``ring`` (default) or ``bruck`` (latency-optimal)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .simulator import Cluster, CommRecord
+from .sparse import SparseRows, combine_sparse
+
+ALLREDUCE_ALGOS = ("ring", "recursive_doubling")
+ALLGATHER_ALGOS = ("ring", "bruck")
+
+
+def allreduce(cluster: Cluster, buffers: Sequence[np.ndarray],
+              algo: str = "ring") -> np.ndarray:
+    """Sum-allreduce dense float buffers, one per rank.
+
+    Returns the elementwise sum (which every rank holds after the call).
+    """
+    _check_parts(cluster, buffers, "allreduce")
+    shape = buffers[0].shape
+    for b in buffers[1:]:
+        if b.shape != shape:
+            raise ValueError(f"allreduce buffers must match shapes: {b.shape} != {shape}")
+    result = np.zeros(shape, dtype=np.float64)
+    for b in buffers:
+        result += b
+    result = result.astype(buffers[0].dtype)
+
+    nbytes = int(buffers[0].nbytes)
+    p = cluster.n_ranks
+    if algo == "ring":
+        time = cluster.network.allreduce_ring_time(nbytes, p)
+        n_messages = 2 * (p - 1)
+    elif algo == "recursive_doubling":
+        time = cluster.network.allreduce_recursive_doubling_time(nbytes, p)
+        n_messages = max(0, int(np.ceil(np.log2(p)))) if p > 1 else 0
+    else:
+        raise ValueError(f"unknown allreduce algorithm {algo!r}; "
+                         f"choose from {ALLREDUCE_ALGOS}")
+    cluster.charge_collective(CommRecord(
+        op=f"allreduce_{algo}", nbytes_total=nbytes,
+        n_messages=n_messages, time=time))
+    return result
+
+
+def allreduce_bytes(cluster: Cluster, nbytes: int, algo: str = "ring",
+                    op_label: str = "allreduce") -> float:
+    """Charge the cost of a dense allreduce of ``nbytes`` without moving data.
+
+    The trainer keeps gradients in sparse form for efficiency; an allreduce
+    step is mathematically the sparse sum, but the wire carries the full
+    dense matrix — this helper charges that dense cost.
+    """
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    p = cluster.n_ranks
+    if algo == "ring":
+        time = cluster.network.allreduce_ring_time(nbytes, p)
+        n_messages = 2 * (p - 1)
+    elif algo == "recursive_doubling":
+        time = cluster.network.allreduce_recursive_doubling_time(nbytes, p)
+        n_messages = max(0, int(np.ceil(np.log2(p)))) if p > 1 else 0
+    else:
+        raise ValueError(f"unknown allreduce algorithm {algo!r}; "
+                         f"choose from {ALLREDUCE_ALGOS}")
+    cluster.charge_collective(CommRecord(
+        op=f"{op_label}_{algo}", nbytes_total=int(nbytes),
+        n_messages=n_messages, time=time))
+    return time
+
+
+def allgatherv_bytes(cluster: Cluster, block_bytes: Sequence[int],
+                     algo: str = "ring", op_label: str = "allgatherv") -> float:
+    """Charge the cost of an allgatherv of opaque blocks; return the time.
+
+    Used directly by the trainer for quantized payloads whose combination
+    happens after local dequantisation.
+    """
+    p = cluster.n_ranks
+    if len(block_bytes) != p:
+        raise ValueError(f"expected {p} block sizes, got {len(block_bytes)}")
+    blocks = [float(b) for b in block_bytes]
+    if any(b < 0 for b in blocks):
+        raise ValueError("block sizes must be non-negative")
+    if algo == "ring":
+        time = cluster.network.allgatherv_ring_time(blocks, p)
+        n_messages = p - 1
+    elif algo == "bruck":
+        time = cluster.network.allgatherv_bruck_time(blocks, p)
+        n_messages = max(0, int(np.ceil(np.log2(p)))) if p > 1 else 0
+    else:
+        raise ValueError(f"unknown allgather algorithm {algo!r}; "
+                         f"choose from {ALLGATHER_ALGOS}")
+    cluster.charge_collective(CommRecord(
+        op=f"{op_label}_{algo}", nbytes_total=int(sum(blocks)),
+        n_messages=n_messages, time=time))
+    return time
+
+
+def allgather_sparse(cluster: Cluster, parts: Sequence[SparseRows],
+                     algo: str = "ring") -> SparseRows:
+    """Allgather each rank's sparse gradient rows and combine them.
+
+    Every rank receives everyone's ``(indices, values)`` blocks and locally
+    sums rows with matching indices — the paper's "sparse update" path.
+    """
+    _check_parts(cluster, parts, "allgather_sparse")
+    allgatherv_bytes(cluster, [part.nbytes_wire for part in parts], algo=algo,
+                     op_label="allgather_sparse")
+    return combine_sparse(parts)
+
+
+def allgather_objects(cluster: Cluster, parts: Sequence[object],
+                      nbytes_each: Sequence[int],
+                      algo: str = "ring", op_label: str = "allgather") -> list:
+    """Allgather arbitrary payload objects with explicit byte sizes.
+
+    Returns the list of all parts (what every rank would hold).
+    """
+    _check_parts(cluster, parts, op_label)
+    allgatherv_bytes(cluster, list(nbytes_each), algo=algo, op_label=op_label)
+    return list(parts)
+
+
+def broadcast(cluster: Cluster, value: np.ndarray, root: int = 0) -> np.ndarray:
+    """Broadcast a dense buffer from ``root`` to all ranks."""
+    if not 0 <= root < cluster.n_ranks:
+        raise ValueError(f"root {root} out of range")
+    value = np.asarray(value)
+    time = cluster.network.broadcast_time(int(value.nbytes), cluster.n_ranks)
+    rounds = max(0, int(np.ceil(np.log2(cluster.n_ranks)))) if cluster.n_ranks > 1 else 0
+    cluster.charge_collective(CommRecord(
+        op="broadcast", nbytes_total=int(value.nbytes),
+        n_messages=rounds, time=time))
+    return value
+
+
+def allreduce_scalar(cluster: Cluster, values: Sequence[float],
+                     op: str = "sum") -> float:
+    """Tiny scalar allreduce (timings, convergence flags, probe results)."""
+    _check_parts(cluster, values, "allreduce_scalar")
+    arr = np.asarray(values, dtype=np.float64)
+    if op == "sum":
+        result = float(arr.sum())
+    elif op == "max":
+        result = float(arr.max())
+    elif op == "min":
+        result = float(arr.min())
+    else:
+        raise ValueError(f"unknown scalar reduce op {op!r}")
+    p = cluster.n_ranks
+    time = cluster.network.allreduce_recursive_doubling_time(8, p)
+    n_messages = max(0, int(np.ceil(np.log2(p)))) if p > 1 else 0
+    cluster.charge_collective(CommRecord(
+        op=f"allreduce_scalar_{op}", nbytes_total=8,
+        n_messages=n_messages, time=time))
+    return result
+
+
+def _check_parts(cluster: Cluster, parts: Sequence, op: str) -> None:
+    if len(parts) != cluster.n_ranks:
+        raise ValueError(
+            f"{op}: expected one payload per rank "
+            f"({cluster.n_ranks}), got {len(parts)}"
+        )

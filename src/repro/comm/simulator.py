@@ -1,0 +1,118 @@
+"""In-process SPMD cluster simulator.
+
+The paper's system is synchronous data parallelism: every node computes
+gradients on its shard, a collective combines them, everyone applies the
+same update.  We simulate the cluster inside one process: each *rank* is a
+slot holding real NumPy state, and a per-rank **virtual clock** accumulates
+modeled compute and communication time.  Collectives (see
+:mod:`repro.comm.collectives`) move real data between rank slots and advance
+all clocks past a synchronisation barrier, exactly like a blocking MPI
+collective would.
+
+Because the data movement is real, every *convergence* effect (lossy
+compression, effective batch size, stale residuals) is genuine; only the
+wall-clock seconds are modeled via :class:`repro.comm.network.NetworkModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .network import DEFAULT_NETWORK, NetworkModel
+
+
+@dataclass(frozen=True)
+class CommRecord:
+    """One collective call: what it was, what it cost."""
+
+    op: str
+    nbytes_total: int
+    n_messages: int
+    time: float
+
+
+@dataclass
+class CommStats:
+    """Aggregated communication statistics for a window of training."""
+
+    calls: int = 0
+    nbytes_total: int = 0
+    time_total: float = 0.0
+    by_op: dict = field(default_factory=dict)
+
+    def add(self, record: CommRecord) -> None:
+        self.calls += 1
+        self.nbytes_total += record.nbytes_total
+        self.time_total += record.time
+        per_op = self.by_op.setdefault(record.op, [0, 0, 0.0])
+        per_op[0] += 1
+        per_op[1] += record.nbytes_total
+        per_op[2] += record.time
+
+
+class Cluster:
+    """A simulated homogeneous cluster of ``n_ranks`` nodes.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of simulated nodes (the paper scales 1..16).
+    network:
+        Cost model used to charge time for collectives and compute.
+    """
+
+    def __init__(self, n_ranks: int, network: NetworkModel = DEFAULT_NETWORK):
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.n_ranks = n_ranks
+        self.network = network
+        self.clocks = np.zeros(n_ranks, dtype=np.float64)
+        self.records: list[CommRecord] = []
+        self.stats = CommStats()
+
+    # -- time accounting ------------------------------------------------
+
+    def advance_compute(self, rank: int, seconds: float) -> None:
+        """Charge ``seconds`` of local compute to one rank's clock."""
+        self._check_rank(rank)
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self.clocks[rank] += seconds
+
+    def advance_compute_all(self, seconds: float) -> None:
+        """Charge identical local compute to every rank (perfectly balanced)."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self.clocks += seconds
+
+    def charge_collective(self, record: CommRecord) -> None:
+        """Synchronise all ranks, then charge the collective's time.
+
+        A blocking collective cannot complete anywhere before the slowest
+        rank enters it, so every clock jumps to the current maximum plus the
+        collective's modeled duration.
+        """
+        sync_point = float(self.clocks.max())
+        self.clocks[:] = sync_point + record.time
+        self.records.append(record)
+        self.stats.add(record)
+
+    def barrier(self) -> None:
+        """Synchronise clocks without charging communication time."""
+        self.clocks[:] = self.clocks.max()
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual seconds since cluster creation (slowest rank's clock)."""
+        return float(self.clocks.max())
+
+    def reset_clocks(self) -> None:
+        """Zero all clocks and drop records (stats are kept)."""
+        self.clocks[:] = 0.0
+        self.records.clear()
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.n_ranks})")

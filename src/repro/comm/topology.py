@@ -1,0 +1,161 @@
+"""Hierarchical network topologies (extension of the flat alpha-beta model).
+
+The paper's Cray XC40 nodes hold 24 cores each; Horovod on such systems
+typically reduces **hierarchically** — a cheap intra-node reduction followed
+by an inter-node ring over one participant per node.  The flat
+:class:`~repro.comm.network.NetworkModel` used by the main benchmarks folds
+this into a single effective (alpha, beta); this module models the two
+levels explicitly so the ablation suite can ask how sensitive the paper's
+crossover points are to the hierarchy.
+
+:class:`HierarchicalNetwork` exposes the same collective-time interface as
+``NetworkModel`` (duck-typed), so it can be passed anywhere a network model
+is accepted — including :class:`~repro.training.trainer.DistributedTrainer`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .network import NetworkModel, _check_p
+
+
+@dataclass(frozen=True)
+class HierarchicalNetwork:
+    """Two-level cluster: ``ranks_per_node`` workers share a node.
+
+    Parameters
+    ----------
+    intra:
+        Cost model for on-node communication (shared memory: tiny alpha,
+        huge bandwidth).
+    inter:
+        Cost model for the network between nodes.
+    ranks_per_node:
+        Workers per physical node (the paper's setup: 1 MPI rank of 24
+        cores per node would be ``1``; a rank-per-socket layout is ``2``).
+    """
+
+    intra: NetworkModel = NetworkModel(alpha=0.3e-6, beta=1.0 / 5.0e10,
+                                       node_flops=5.0e10)
+    inter: NetworkModel = NetworkModel(alpha=5.0e-6, beta=1.0 / 8.0e9,
+                                       node_flops=5.0e10)
+    ranks_per_node: int = 2
+
+    def __post_init__(self) -> None:
+        if self.ranks_per_node < 1:
+            raise ValueError(
+                f"ranks_per_node must be >= 1, got {self.ranks_per_node}")
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def node_flops(self) -> float:
+        """Per-rank compute rate (shares the node's cores)."""
+        return self.inter.node_flops / self.ranks_per_node
+
+    def _levels(self, p: int) -> tuple[int, int]:
+        """(ranks inside a node, nodes) for a p-rank job."""
+        local = min(self.ranks_per_node, p)
+        nodes = math.ceil(p / local)
+        return local, nodes
+
+    def compute_time(self, flops: float) -> float:
+        """Time for one rank to execute ``flops``."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops / self.node_flops
+
+    def transfer_time(self, nbytes: float, n_messages: int = 1) -> float:
+        """Point-to-point transfer (conservatively inter-node)."""
+        return self.inter.transfer_time(nbytes, n_messages)
+
+    # -- hierarchical collectives -------------------------------------
+
+    def allreduce_ring_time(self, nbytes: float, p: int) -> float:
+        """Reduce inside each node, ring across nodes, broadcast back."""
+        _check_p(p)
+        if p == 1:
+            return 0.0
+        local, nodes = self._levels(p)
+        t = 0.0
+        if local > 1:
+            # Local reduce + final broadcast, both tree-shaped in-node.
+            t += 2 * self.intra.broadcast_time(nbytes, local)
+        if nodes > 1:
+            t += self.inter.allreduce_ring_time(nbytes, nodes)
+        return t
+
+    def allreduce_recursive_doubling_time(self, nbytes: float,
+                                          p: int) -> float:
+        """Same hierarchy with recursive doubling across nodes."""
+        _check_p(p)
+        if p == 1:
+            return 0.0
+        local, nodes = self._levels(p)
+        t = 0.0
+        if local > 1:
+            t += 2 * self.intra.broadcast_time(nbytes, local)
+        if nodes > 1:
+            t += self.inter.allreduce_recursive_doubling_time(nbytes, nodes)
+        return t
+
+    def allgatherv_ring_time(self, block_bytes, p: int) -> float:
+        """Gather inside nodes, ring the concatenated node blocks around."""
+        _check_p(p)
+        if len(block_bytes) != p:
+            raise ValueError(f"expected {p} block sizes, got {len(block_bytes)}")
+        if p == 1:
+            return 0.0
+        local, nodes = self._levels(p)
+        blocks = [float(b) for b in block_bytes]
+        t = 0.0
+        if local > 1:
+            # In-node gather of each node's ranks (bounded by the largest
+            # node aggregate), plus the final in-node broadcast of the
+            # global result.
+            node_blocks = [sum(blocks[i:i + local])
+                           for i in range(0, p, local)]
+            t += self.intra.allgatherv_ring_time(
+                blocks[:local], local)
+            if nodes > 1:
+                t += self.inter.allgatherv_ring_time(node_blocks, nodes)
+                t += self.intra.broadcast_time(sum(blocks), local)
+        else:
+            t += self.inter.allgatherv_ring_time(blocks, nodes)
+        return t
+
+    def allgatherv_bruck_time(self, block_bytes, p: int) -> float:
+        """Bruck variant of the hierarchical allgather."""
+        _check_p(p)
+        if len(block_bytes) != p:
+            raise ValueError(f"expected {p} block sizes, got {len(block_bytes)}")
+        if p == 1:
+            return 0.0
+        local, nodes = self._levels(p)
+        blocks = [float(b) for b in block_bytes]
+        t = 0.0
+        if local > 1:
+            node_blocks = [sum(blocks[i:i + local])
+                           for i in range(0, p, local)]
+            t += self.intra.allgatherv_bruck_time(blocks[:local], local)
+            if nodes > 1:
+                t += self.inter.allgatherv_bruck_time(node_blocks, nodes)
+                t += self.intra.broadcast_time(sum(blocks), local)
+        else:
+            t += self.inter.allgatherv_bruck_time(blocks, nodes)
+        return t
+
+    def broadcast_time(self, nbytes: float, p: int) -> float:
+        """Inter-node tree plus in-node tree."""
+        _check_p(p)
+        if p == 1:
+            return 0.0
+        local, nodes = self._levels(p)
+        t = 0.0
+        if nodes > 1:
+            t += self.inter.broadcast_time(nbytes, nodes)
+        if local > 1:
+            t += self.intra.broadcast_time(nbytes, local)
+        return t

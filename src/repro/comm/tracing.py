@@ -1,0 +1,121 @@
+"""Execution tracing for the simulated cluster.
+
+Records every collective (and optionally compute segments) as timeline
+events and exports them in the Chrome ``chrome://tracing`` / Perfetto JSON
+format, so a simulated 16-node run can be inspected with the same tools an
+HPC engineer would point at a real Horovod timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .simulator import Cluster, CommRecord
+
+
+@dataclass
+class TraceEvent:
+    """One timeline span (times in simulated seconds)."""
+
+    name: str
+    start: float
+    duration: float
+    rank: int          # -1 = all ranks (a collective)
+    category: str      # "comm" or "compute"
+    args: dict = field(default_factory=dict)
+
+
+class ClusterTracer:
+    """Wraps a :class:`Cluster` and records a timeline.
+
+    Use as a context manager or call :meth:`attach` / :meth:`detach`; the
+    tracer monkey-patches the cluster's time-accounting entry points, so no
+    trainer changes are needed.
+    """
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.events: list[TraceEvent] = []
+        self._orig_charge = None
+        self._orig_advance = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def attach(self) -> "ClusterTracer":
+        if self._orig_charge is not None:
+            raise RuntimeError("tracer already attached")
+        self._orig_charge = self.cluster.charge_collective
+        self._orig_advance = self.cluster.advance_compute
+
+        def charge(record: CommRecord):
+            start = float(self.cluster.clocks.max())
+            self._orig_charge(record)
+            self.events.append(TraceEvent(
+                name=record.op, start=start, duration=record.time, rank=-1,
+                category="comm",
+                args={"bytes": record.nbytes_total,
+                      "messages": record.n_messages}))
+
+        def advance(rank: int, seconds: float):
+            start = float(self.cluster.clocks[rank])
+            self._orig_advance(rank, seconds)
+            self.events.append(TraceEvent(
+                name="compute", start=start, duration=seconds, rank=rank,
+                category="compute"))
+
+        self.cluster.charge_collective = charge  # type: ignore[assignment]
+        self.cluster.advance_compute = advance   # type: ignore[assignment]
+        return self
+
+    def detach(self) -> None:
+        if self._orig_charge is None:
+            return
+        self.cluster.charge_collective = self._orig_charge  # type: ignore
+        self.cluster.advance_compute = self._orig_advance   # type: ignore
+        self._orig_charge = None
+        self._orig_advance = None
+
+    def __enter__(self) -> "ClusterTracer":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- queries ---------------------------------------------------------
+
+    def comm_events(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.category == "comm"]
+
+    def compute_events(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.category == "compute"]
+
+    def total_time_by_category(self) -> dict:
+        out: dict[str, float] = {}
+        for e in self.events:
+            out[e.category] = out.get(e.category, 0.0) + e.duration
+        return out
+
+    # -- export ----------------------------------------------------------
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Chrome tracing 'X' (complete) events; microsecond timestamps."""
+        trace = []
+        for e in self.events:
+            trace.append({
+                "name": e.name,
+                "cat": e.category,
+                "ph": "X",
+                "ts": e.start * 1e6,
+                "dur": e.duration * 1e6,
+                "pid": 0,
+                "tid": e.rank if e.rank >= 0 else self.cluster.n_ranks,
+                "args": e.args,
+            })
+        return trace
+
+    def save(self, path: str) -> None:
+        """Write the Chrome-trace JSON file."""
+        with open(path, "w") as fh:
+            json.dump({"traceEvents": self.to_chrome_trace(),
+                       "displayTimeUnit": "ms"}, fh)

@@ -1,0 +1,45 @@
+"""Gradient compression: selection, quantization, packing, error feedback,
+plus the related-work comparators (top-k, Aji threshold, Wangni, GradZip)."""
+
+from . import factorization
+from .error_feedback import ResidualStore
+from .packing import pack_signs, pack_ternary, unpack_signs, unpack_ternary
+from .quantization import (
+    ONE_BIT_STATS,
+    QuantizedRows,
+    dequantize,
+    quantization_error,
+    quantize_1bit,
+    quantize_2bit,
+)
+from .selection import (
+    SELECTION_POLICIES,
+    SelectionStats,
+    random_selection,
+    select,
+    threshold_selection,
+)
+from .topk import threshold_elements, topk_rows, wangni_rows
+
+__all__ = [
+    "ONE_BIT_STATS",
+    "QuantizedRows",
+    "ResidualStore",
+    "SELECTION_POLICIES",
+    "SelectionStats",
+    "dequantize",
+    "factorization",
+    "pack_signs",
+    "pack_ternary",
+    "quantization_error",
+    "quantize_1bit",
+    "quantize_2bit",
+    "random_selection",
+    "select",
+    "threshold_elements",
+    "threshold_selection",
+    "topk_rows",
+    "unpack_signs",
+    "wangni_rows",
+    "unpack_ternary",
+]

@@ -1,0 +1,78 @@
+"""GradZip-style gradient factorization (Cho et al., 2019) — a comparator.
+
+The paper's related work (Section 2) considers compressing the gradient
+matrix by factorisation: share one random matrix ``R`` (``dim x r``) across
+all workers, communicate only ``G @ R`` (``rows x r``), and reconstruct
+``G ~= (G @ R) @ R^T``.  Only one small matrix is reduced, but — as the
+paper observes — "reconstruction of the factored matrix does not seem
+intuitive and shows poor convergence in practice": each row of a KGE
+gradient belongs to a *different* entity, so the row-mixing-free projection
+throws away exactly the per-row precision that matters.
+
+This module exists to back that claim with a runnable comparison (see
+``tests/compress/test_factorization.py`` and the training comparison in
+``tests/integration``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..comm.payload import FLOAT32_BYTES, INDEX_BYTES
+from ..comm.sparse import SparseRows
+
+
+def shared_projection(dim: int, rank: int, seed: int = 0) -> np.ndarray:
+    """The random projection matrix every worker derives from a shared seed.
+
+    Scaled so ``R @ R.T`` approximates the identity in expectation
+    (Johnson-Lindenstrauss style), making reconstruction unbiased.
+    """
+    if rank < 1 or rank > dim:
+        raise ValueError(f"rank must be in [1, {dim}], got {rank}")
+    rng = np.random.default_rng(seed)
+    return rng.normal(scale=1.0 / np.sqrt(rank),
+                      size=(dim, rank)).astype(np.float32)
+
+
+@dataclass
+class FactoredPayload:
+    """What travels on the wire: row indices plus the projected rows."""
+
+    indices: np.ndarray
+    projected: np.ndarray  # (nnz, rank)
+    n_rows: int
+    dim: int
+
+    @property
+    def nbytes_wire(self) -> int:
+        nnz, r = self.projected.shape
+        return nnz * (INDEX_BYTES + r * FLOAT32_BYTES)
+
+
+def compress(grad: SparseRows, projection: np.ndarray) -> FactoredPayload:
+    """Project each gradient row onto the shared low-rank basis."""
+    if projection.shape[0] != grad.dim and grad.nnz_rows:
+        raise ValueError(
+            f"projection rows {projection.shape[0]} != gradient dim {grad.dim}")
+    return FactoredPayload(indices=grad.indices.copy(),
+                           projected=(grad.values @ projection),
+                           n_rows=grad.n_rows, dim=grad.dim)
+
+
+def reconstruct(payload: FactoredPayload,
+                projection: np.ndarray) -> SparseRows:
+    """Approximate the original rows: ``(G @ R) @ R^T``."""
+    values = payload.projected @ projection.T
+    return SparseRows(indices=payload.indices.copy(),
+                      values=values.astype(np.float32),
+                      n_rows=payload.n_rows)
+
+
+def compression_ratio(dim: int, rank: int) -> float:
+    """Dense-row to projected-row size ratio (ignoring the shared R)."""
+    if rank < 1:
+        raise ValueError("rank must be >= 1")
+    return dim / rank

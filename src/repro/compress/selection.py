@@ -1,0 +1,98 @@
+"""Gradient-vector (row) selection — the paper's "RS" strategy (Section 4.2).
+
+The 2-norm of a gradient row proxies its contribution to the loss decrease.
+Three policies are compared in the paper's Figure 3:
+
+* ``average`` threshold — drop rows whose norm is below the mean row norm;
+* ``average x 0.1`` threshold — same with a 10x softer bar;
+* **random selection** (the winner) — keep row *i* with probability
+  ``min(1, ||g_i|| / C)`` where ``C`` is the mean row norm, so borderline
+  rows still get through occasionally instead of being starved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..comm.sparse import SparseRows
+
+
+@dataclass(frozen=True)
+class SelectionStats:
+    """What a selection pass did to one gradient matrix."""
+
+    rows_in: int
+    rows_kept: int
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of rows dropped (0 = kept everything)."""
+        if self.rows_in == 0:
+            return 0.0
+        return 1.0 - self.rows_kept / self.rows_in
+
+
+def _row_norms(grad: SparseRows) -> np.ndarray:
+    return np.linalg.norm(grad.values, axis=1)
+
+
+def random_selection(grad: SparseRows, rng: np.random.Generator,
+                     scale: float = 1.0) -> tuple[SparseRows, SelectionStats]:
+    """Bernoulli row selection with keep-probability ``min(1, norm / C)``.
+
+    ``C`` is ``scale`` times the mean of the row 2-norms (``scale = 1`` is
+    the paper's policy).  Kept rows are *not* rescaled: the paper drops and
+    forgets, relying on the high-norm rows dominating the update.
+    """
+    if grad.nnz_rows == 0:
+        return grad, SelectionStats(0, 0)
+    norms = _row_norms(grad)
+    c = scale * float(norms.mean())
+    if c <= 0.0:
+        # All-zero rows: nothing survives.
+        empty = grad.select(np.zeros(grad.nnz_rows, dtype=bool))
+        return empty, SelectionStats(grad.nnz_rows, 0)
+    keep_prob = np.minimum(1.0, norms / c)
+    keep = rng.random(grad.nnz_rows) < keep_prob
+    return grad.select(keep), SelectionStats(grad.nnz_rows, int(keep.sum()))
+
+
+def threshold_selection(grad: SparseRows, multiplier: float = 1.0
+                        ) -> tuple[SparseRows, SelectionStats]:
+    """Hard-threshold selection: keep rows with norm >= multiplier * mean.
+
+    ``multiplier = 1.0`` is the paper's "average" policy, ``0.1`` its
+    "average x 0.1" policy.
+    """
+    if multiplier < 0:
+        raise ValueError(f"multiplier must be >= 0, got {multiplier}")
+    if grad.nnz_rows == 0:
+        return grad, SelectionStats(0, 0)
+    norms = _row_norms(grad)
+    bar = multiplier * float(norms.mean())
+    keep = norms >= bar
+    return grad.select(keep), SelectionStats(grad.nnz_rows, int(keep.sum()))
+
+
+SELECTION_POLICIES = {
+    "random": lambda grad, rng: random_selection(grad, rng),
+    "average": lambda grad, rng: threshold_selection(grad, 1.0),
+    "average_x0.1": lambda grad, rng: threshold_selection(grad, 0.1),
+    "none": lambda grad, rng: (grad, SelectionStats(grad.nnz_rows,
+                                                    grad.nnz_rows)),
+}
+
+
+def select(grad: SparseRows, policy: str,
+           rng: np.random.Generator) -> tuple[SparseRows, SelectionStats]:
+    """Apply a named selection policy."""
+    try:
+        fn = SELECTION_POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown selection policy {policy!r}; "
+            f"choose from {sorted(SELECTION_POLICIES)}"
+        ) from None
+    return fn(grad, rng)

@@ -1,0 +1,128 @@
+"""Link-prediction ranking metrics: raw / filtered MRR and Hits@k.
+
+Protocol (paper Section 3.2, identical to ComplEx/OpenKE): for each test
+triple, replace the head with every entity and rank the true triple by
+score; repeat replacing the tail; average the reciprocal ranks.  The
+*filtered* variant ignores corrupted triples that are themselves facts
+anywhere in train/valid/test.
+
+Ranks use the conservative convention ``rank = 1 + #{strictly better} +
+#{ties} / 2`` truncated — we use mean-rank-of-ties ("realistic" ranking) to
+avoid rewarding degenerate constant scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..kg.triples import TripleSet, TripleStore
+from ..models.base import KGEModel
+
+
+@dataclass(frozen=True)
+class RankingResult:
+    """Aggregated link-prediction metrics over one split."""
+
+    mrr: float
+    mrr_raw: float
+    hits_at_1: float
+    hits_at_3: float
+    hits_at_10: float
+    n_queries: int
+
+
+def _ranks_from_scores(all_scores: np.ndarray, true_scores: np.ndarray,
+                       filter_mask: np.ndarray | None) -> np.ndarray:
+    """Realistic rank of the true entity per query row.
+
+    ``filter_mask`` marks candidate entries to ignore (known facts other
+    than the query triple itself).
+    """
+    if filter_mask is not None:
+        # Filtered entries cannot outrank the true triple.
+        all_scores = np.where(filter_mask, -np.inf, all_scores)
+    better = (all_scores > true_scores[:, None]).sum(axis=1)
+    ties = (all_scores == true_scores[:, None]).sum(axis=1)
+    # The true entity itself always ties with itself; average remaining ties.
+    ties = np.maximum(ties - 1, 0)
+    return 1.0 + better + ties / 2.0
+
+
+def rank_triples(model: KGEModel, triples: TripleSet, store: TripleStore,
+                 batch_size: int = 512
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-query ranks: (head_raw, head_filtered, tail_raw, tail_filtered)."""
+    n = len(triples)
+    head_raw = np.empty(n)
+    head_filt = np.empty(n)
+    tail_raw = np.empty(n)
+    tail_filt = np.empty(n)
+    n_entities = store.n_entities
+
+    for start in range(0, n, batch_size):
+        sl = slice(start, min(start + batch_size, n))
+        h = triples.heads[sl]
+        r = triples.relations[sl]
+        t = triples.tails[sl]
+        b = len(h)
+
+        # Tail replacement: (h, r, *).  The true triple's score is read out
+        # of the same candidate matrix so float rounding is identical for
+        # the query and its competitors (a separate score() call can differ
+        # in the last bits and flip ties).
+        tail_scores = model.score_all_tails(h, r)
+        true_scores = tail_scores[np.arange(b), t]
+        cand = np.arange(n_entities)
+        known = store.is_known(
+            np.repeat(h, n_entities), np.repeat(r, n_entities),
+            np.tile(cand, b)).reshape(b, n_entities)
+        known[np.arange(b), t] = False  # never filter the query itself
+        tail_raw[sl] = _ranks_from_scores(tail_scores, true_scores, None)
+        tail_filt[sl] = _ranks_from_scores(tail_scores, true_scores, known)
+
+        # Head replacement: (*, r, t)
+        head_scores = model.score_all_heads(r, t)
+        true_scores = head_scores[np.arange(b), h]
+        known = store.is_known(
+            np.tile(cand, b), np.repeat(r, n_entities),
+            np.repeat(t, n_entities)).reshape(b, n_entities)
+        known[np.arange(b), h] = False
+        head_raw[sl] = _ranks_from_scores(head_scores, true_scores, None)
+        head_filt[sl] = _ranks_from_scores(head_scores, true_scores, known)
+
+    return head_raw, head_filt, tail_raw, tail_filt
+
+
+def evaluate_ranking(model: KGEModel, triples: TripleSet, store: TripleStore,
+                     batch_size: int = 512,
+                     max_queries: int | None = None,
+                     rng: np.random.Generator | None = None) -> RankingResult:
+    """Full link-prediction evaluation of one split.
+
+    ``max_queries`` subsamples the split (deterministically unless ``rng``
+    is given) — validation during training uses a subsample for speed, the
+    final test evaluation uses everything.
+    """
+    if len(triples) == 0:
+        raise ValueError("cannot evaluate an empty split")
+    if max_queries is not None and max_queries < len(triples):
+        if rng is None:
+            idx = np.linspace(0, len(triples) - 1, max_queries).astype(np.int64)
+        else:
+            idx = rng.choice(len(triples), size=max_queries, replace=False)
+        triples = triples.subset(idx)
+
+    head_raw, head_filt, tail_raw, tail_filt = rank_triples(
+        model, triples, store, batch_size=batch_size)
+    filt = np.concatenate([head_filt, tail_filt])
+    raw = np.concatenate([head_raw, tail_raw])
+    return RankingResult(
+        mrr=float((1.0 / filt).mean()),
+        mrr_raw=float((1.0 / raw).mean()),
+        hits_at_1=float((filt <= 1.0).mean()),
+        hits_at_3=float((filt <= 3.0).mean()),
+        hits_at_10=float((filt <= 10.0).mean()),
+        n_queries=len(triples),
+    )

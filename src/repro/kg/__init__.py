@@ -1,0 +1,45 @@
+"""Knowledge-graph substrate: triples, synthetic datasets, partitioning."""
+
+from .analysis import GraphStats, analyze, describe, gini
+from .datasets import (
+    generate_latent_kg,
+    load_store,
+    make_fb15k_like,
+    make_fb250k_like,
+    make_tiny_kg,
+    make_wn18_like,
+    save_store,
+)
+from .negative import NegativeBatch, corrupt_batch, select_all, select_hardest
+from .partition import (
+    Partition,
+    entity_partition,
+    relation_partition,
+    uniform_partition,
+)
+from .triples import TripleSet, TripleStore, encode_triples
+
+__all__ = [
+    "GraphStats",
+    "analyze",
+    "describe",
+    "gini",
+    "NegativeBatch",
+    "Partition",
+    "TripleSet",
+    "TripleStore",
+    "corrupt_batch",
+    "encode_triples",
+    "entity_partition",
+    "generate_latent_kg",
+    "load_store",
+    "make_fb15k_like",
+    "make_fb250k_like",
+    "make_tiny_kg",
+    "make_wn18_like",
+    "relation_partition",
+    "save_store",
+    "select_all",
+    "select_hardest",
+    "uniform_partition",
+]

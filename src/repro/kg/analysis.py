@@ -1,0 +1,99 @@
+"""Graph-statistics utilities for the synthetic datasets.
+
+These back the structural claims DESIGN.md makes about the generators
+(heavy-tailed relation frequencies and entity degrees, FB-like density) and
+give downstream users a quick way to compare their own datasets to the
+paper's regime.  Uses networkx only for the connectivity summary, keeping
+the heavy statistics in vectorised NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .triples import TripleStore
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of one knowledge graph."""
+
+    n_entities: int
+    n_relations: int
+    n_triples: int
+    triples_per_entity: float
+    relation_gini: float
+    degree_gini: float
+    degree_p99_over_median: float
+    isolated_entities: int
+    largest_component_fraction: float
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample (0 = equal, ->1 = skewed)."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    if len(values) == 0:
+        raise ValueError("gini of empty sample")
+    if values[0] < 0:
+        raise ValueError("gini requires non-negative values")
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    n = len(values)
+    cum = np.cumsum(values)
+    # Standard formula: 1 - 2 * sum((cum - v/2)) / (n * total), rearranged.
+    return float((n + 1 - 2 * (cum / total).sum()) / n)
+
+
+def degree_distribution(store: TripleStore, split: str = "train") -> np.ndarray:
+    """Per-entity degree counts over heads and tails."""
+    return store.entity_degrees(split)
+
+
+def largest_component_fraction(store: TripleStore) -> float:
+    """Fraction of entities in the largest weakly-connected component."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(store.n_entities))
+    g.add_edges_from(zip(store.train.heads.tolist(),
+                         store.train.tails.tolist()))
+    largest = max(nx.connected_components(g), key=len)
+    return len(largest) / store.n_entities
+
+
+def analyze(store: TripleStore) -> GraphStats:
+    """Compute the full statistics bundle for a dataset."""
+    degrees = degree_distribution(store)
+    rel_counts = store.relation_counts()
+    n_triples = (len(store.train) + len(store.valid) + len(store.test))
+    median_degree = max(float(np.median(degrees)), 1.0)
+    return GraphStats(
+        n_entities=store.n_entities,
+        n_relations=store.n_relations,
+        n_triples=n_triples,
+        triples_per_entity=n_triples / store.n_entities,
+        relation_gini=gini(rel_counts),
+        degree_gini=gini(degrees),
+        degree_p99_over_median=float(np.percentile(degrees, 99))
+        / median_degree,
+        isolated_entities=int((degrees == 0).sum()),
+        largest_component_fraction=largest_component_fraction(store),
+    )
+
+
+def describe(store: TripleStore) -> str:
+    """Human-readable one-paragraph description of a dataset."""
+    stats = analyze(store)
+    return (
+        f"{store.name}: {stats.n_entities} entities, "
+        f"{stats.n_relations} relations, {stats.n_triples} triples "
+        f"({stats.triples_per_entity:.1f} per entity). "
+        f"Relation skew gini={stats.relation_gini:.2f}, degree "
+        f"gini={stats.degree_gini:.2f} "
+        f"(p99/median={stats.degree_p99_over_median:.1f}); "
+        f"{stats.isolated_entities} isolated entities; largest component "
+        f"covers {stats.largest_component_fraction:.0%} of the graph."
+    )

@@ -1,0 +1,132 @@
+"""Common interface and shared machinery for KGE models.
+
+Every model holds two float32 embedding matrices (entities and relations)
+and exposes a vectorised ``score`` plus a closed-form ``score_grad`` — the
+gradients an autodiff framework would produce, written out by hand so the
+whole system runs on NumPy.  Batch gradients come back as
+:class:`~repro.comm.sparse.SparseRows` because only the rows touched by the
+batch are non-zero (the fact the paper's whole communication strategy rests
+on).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..comm.sparse import SparseRows
+
+
+class KGEModel(abc.ABC):
+    """Base class for knowledge-graph-embedding models.
+
+    Parameters
+    ----------
+    n_entities, n_relations:
+        Vocabulary sizes.
+    dim:
+        Embedding dimension.  For complex-valued models this is the number
+        of *complex* dimensions; the real storage width is ``2 * dim``.
+    seed:
+        Initialisation seed (Xavier-style uniform init).
+    """
+
+    #: Real-valued storage width multiplier (2 for complex-valued models).
+    width_factor: int = 1
+
+    def __init__(self, n_entities: int, n_relations: int, dim: int,
+                 seed: int = 0):
+        if n_entities < 1 or n_relations < 1 or dim < 1:
+            raise ValueError(
+                f"invalid model shape: entities={n_entities}, "
+                f"relations={n_relations}, dim={dim}"
+            )
+        self.n_entities = n_entities
+        self.n_relations = n_relations
+        self.dim = dim
+        self.seed = seed
+        width = dim * self.width_factor
+        rng = np.random.default_rng(seed)
+        bound = np.sqrt(6.0 / (dim + dim))
+        self.entity_emb = rng.uniform(-bound, bound,
+                                      size=(n_entities, width)).astype(np.float32)
+        self.relation_emb = rng.uniform(-bound, bound,
+                                        size=(n_relations, width)).astype(np.float32)
+
+    # -- abstract scoring -------------------------------------------------
+
+    @abc.abstractmethod
+    def score(self, h: np.ndarray, r: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Triple scores; higher = more plausible.  Shapes broadcast 1-D."""
+
+    @abc.abstractmethod
+    def score_grad(self, h: np.ndarray, r: np.ndarray, t: np.ndarray,
+                   upstream: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-example gradients of ``sum(upstream * score)``.
+
+        Returns ``(g_h, g_r, g_t)`` with shape ``(batch, width)`` each —
+        the gradient contribution of every example to its head, relation
+        and tail embedding rows.
+        """
+
+    @abc.abstractmethod
+    def score_all_tails(self, h: np.ndarray, r: np.ndarray) -> np.ndarray:
+        """Scores of (h_i, r_i, every entity): shape (batch, n_entities)."""
+
+    @abc.abstractmethod
+    def score_all_heads(self, r: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Scores of (every entity, r_i, t_i): shape (batch, n_entities)."""
+
+    # -- gradient assembly -------------------------------------------------
+
+    def batch_gradients(
+        self, h: np.ndarray, r: np.ndarray, t: np.ndarray,
+        upstream: np.ndarray, l2: float = 0.0,
+    ) -> tuple[SparseRows, SparseRows]:
+        """Accumulate per-example gradients into sparse row sets.
+
+        ``upstream`` is dL/dscore per example.  With ``l2 > 0`` the usual
+        batch L2 penalty gradient (``2 * l2 * embedding`` per occurrence) is
+        added to every touched row.
+        """
+        h = np.asarray(h, dtype=np.int64)
+        r = np.asarray(r, dtype=np.int64)
+        t = np.asarray(t, dtype=np.int64)
+        upstream = np.asarray(upstream, dtype=np.float32)
+        g_h, g_r, g_t = self.score_grad(h, r, t, upstream)
+        if l2 > 0.0:
+            reg = np.float32(2.0 * l2)
+            g_h = g_h + reg * self.entity_emb[h]
+            g_t = g_t + reg * self.entity_emb[t]
+            g_r = g_r + reg * self.relation_emb[r]
+        entity_grad = SparseRows.from_rows(
+            np.concatenate([h, t]), np.concatenate([g_h, g_t]),
+            n_rows=self.n_entities)
+        relation_grad = SparseRows.from_rows(r, g_r, n_rows=self.n_relations)
+        return entity_grad, relation_grad
+
+    # -- parameter access --------------------------------------------------
+
+    def copy(self) -> "KGEModel":
+        """Deep copy (each simulated rank gets its own replica)."""
+        clone = self.__class__(self.n_entities, self.n_relations, self.dim,
+                               seed=self.seed)
+        clone.entity_emb = self.entity_emb.copy()
+        clone.relation_emb = self.relation_emb.copy()
+        return clone
+
+    def state_norms(self) -> tuple[float, float]:
+        """Frobenius norms of the two embedding matrices (diagnostics)."""
+        return (float(np.linalg.norm(self.entity_emb)),
+                float(np.linalg.norm(self.relation_emb)))
+
+    def flops_per_example(self, backward: bool = True) -> int:
+        """Rough flop count of scoring (and optionally backprop) one triple.
+
+        Used by the modeled-compute timing path.  Subclasses may override;
+        the default counts the multiply-adds of a trilinear form.
+        """
+        width = self.dim * self.width_factor
+        forward = 6 * width
+        return forward * (3 if backward else 1)

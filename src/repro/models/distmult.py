@@ -1,0 +1,45 @@
+"""DistMult — the real-valued special case of ComplEx (future-work model).
+
+Score: ``phi(h, r, t) = sum_d h_d r_d t_d``.  The paper notes that all its
+strategies except negative-sample selection are model-agnostic; DistMult
+(and TransE) let the benchmarks demonstrate that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import KGEModel
+
+
+class DistMult(KGEModel):
+    """Trilinear real-valued bilinear-diagonal model."""
+
+    width_factor = 1
+
+    def score(self, h, r, t):
+        e_h = self.entity_emb[np.asarray(h, dtype=np.int64)]
+        e_r = self.relation_emb[np.asarray(r, dtype=np.int64)]
+        e_t = self.entity_emb[np.asarray(t, dtype=np.int64)]
+        return np.sum(e_h * e_r * e_t, axis=-1)
+
+    def score_grad(self, h, r, t, upstream):
+        e_h = self.entity_emb[np.asarray(h, dtype=np.int64)]
+        e_r = self.relation_emb[np.asarray(r, dtype=np.int64)]
+        e_t = self.entity_emb[np.asarray(t, dtype=np.int64)]
+        u = np.asarray(upstream, dtype=np.float32)[:, None]
+        return u * e_r * e_t, u * e_h * e_t, u * e_h * e_r
+
+    def score_all_tails(self, h, r):
+        e_h = self.entity_emb[np.asarray(h, dtype=np.int64)]
+        e_r = self.relation_emb[np.asarray(r, dtype=np.int64)]
+        return (e_h * e_r) @ self.entity_emb.T
+
+    def score_all_heads(self, r, t):
+        e_r = self.relation_emb[np.asarray(r, dtype=np.int64)]
+        e_t = self.entity_emb[np.asarray(t, dtype=np.int64)]
+        return (e_r * e_t) @ self.entity_emb.T
+
+    def flops_per_example(self, backward: bool = True) -> int:
+        forward = 3 * self.dim
+        return forward * (4 if backward else 1)

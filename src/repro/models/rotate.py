@@ -1,0 +1,105 @@
+"""RotatE (Sun et al., 2019) — rotation-in-complex-plane model.
+
+Included for the paper's future work ("explore our methods with other KGE
+models").  Entities are complex vectors; each relation is a vector of
+**phases**, acting as an element-wise rotation.  The score is the negative
+L1 modulus of the rotation residual:
+
+    phi(h, r, t) = - sum_d | h_d * e^{i theta_d} - t_d |
+
+Gradients are hand-derived like the other models.  Unlike ComplEx /
+DistMult / TransE the relation parameter width differs from the entity
+width (``dim`` phases vs ``2 * dim`` reals), which also exercises the
+trainer's handling of differently-shaped gradient matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import KGEModel
+
+
+class RotatE(KGEModel):
+    """Rotation model with closed-form gradients."""
+
+    width_factor = 2  # entity storage: [real | imag]
+
+    def __init__(self, n_entities: int, n_relations: int, dim: int,
+                 seed: int = 0):
+        super().__init__(n_entities, n_relations, dim, seed=seed)
+        # Relations are phases in (-pi, pi], one per complex dimension.
+        rng = np.random.default_rng((seed, 1))
+        self.relation_emb = rng.uniform(
+            -np.pi, np.pi, size=(n_relations, dim)).astype(np.float32)
+
+    def _split(self, emb: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return emb[..., :self.dim], emb[..., self.dim:]
+
+    def _residual(self, h, r, t):
+        """(u, v, m): real/imag residual of h*e^{i theta} - t and modulus."""
+        h_re, h_im = self._split(self.entity_emb[np.asarray(h, dtype=np.int64)])
+        t_re, t_im = self._split(self.entity_emb[np.asarray(t, dtype=np.int64)])
+        theta = self.relation_emb[np.asarray(r, dtype=np.int64)]
+        cos, sin = np.cos(theta), np.sin(theta)
+        hr_re = h_re * cos - h_im * sin
+        hr_im = h_re * sin + h_im * cos
+        u = hr_re - t_re
+        v = hr_im - t_im
+        m = np.sqrt(np.maximum(u * u + v * v, 1e-12))
+        return u, v, m, hr_re, hr_im, cos, sin
+
+    def score(self, h, r, t):
+        _, _, m, *_ = self._residual(h, r, t)
+        return -m.sum(axis=-1)
+
+    def score_grad(self, h, r, t, upstream):
+        u, v, m, hr_re, hr_im, cos, sin = self._residual(h, r, t)
+        w = np.asarray(upstream, dtype=np.float32)[:, None]
+        du = -u / m  # d score / d u
+        dv = -v / m
+        # d u/d h_re = cos, d v/d h_re = sin; d u/d h_im = -sin, d v/d h_im = cos
+        g_h = np.concatenate([w * (du * cos + dv * sin),
+                              w * (-du * sin + dv * cos)], axis=1)
+        # d u/d t_re = -1, d v/d t_im = -1
+        g_t = np.concatenate([w * (-du), w * (-dv)], axis=1)
+        # d u/d theta = -hr_im, d v/d theta = hr_re
+        g_r = w * (du * (-hr_im) + dv * hr_re)
+        return (g_h.astype(np.float32), g_r.astype(np.float32),
+                g_t.astype(np.float32))
+
+    def _rotated_heads(self, h, r):
+        h_re, h_im = self._split(self.entity_emb[np.asarray(h, dtype=np.int64)])
+        theta = self.relation_emb[np.asarray(r, dtype=np.int64)]
+        cos, sin = np.cos(theta), np.sin(theta)
+        return h_re * cos - h_im * sin, h_re * sin + h_im * cos
+
+    def score_all_tails(self, h, r):
+        hr_re, hr_im = self._rotated_heads(h, r)
+        e_re, e_im = self._split(self.entity_emb)
+        u = hr_re[:, None, :] - e_re[None, :, :]
+        v = hr_im[:, None, :] - e_im[None, :, :]
+        return -np.sqrt(np.maximum(u * u + v * v, 1e-12)).sum(axis=-1)
+
+    def score_all_heads(self, r, t):
+        # |h e^{i theta} - t| = |h - t e^{-i theta}|: rotate tails backward.
+        t_re, t_im = self._split(self.entity_emb[np.asarray(t, dtype=np.int64)])
+        theta = self.relation_emb[np.asarray(r, dtype=np.int64)]
+        cos, sin = np.cos(theta), np.sin(theta)
+        tr_re = t_re * cos + t_im * sin
+        tr_im = -t_re * sin + t_im * cos
+        e_re, e_im = self._split(self.entity_emb)
+        u = e_re[None, :, :] - tr_re[:, None, :]
+        v = e_im[None, :, :] - tr_im[:, None, :]
+        return -np.sqrt(np.maximum(u * u + v * v, 1e-12)).sum(axis=-1)
+
+    def flops_per_example(self, backward: bool = True) -> int:
+        forward = 16 * self.dim
+        return forward * (4 if backward else 1)
+
+    def copy(self) -> "RotatE":
+        clone = RotatE(self.n_entities, self.n_relations, self.dim,
+                       seed=self.seed)
+        clone.entity_emb = self.entity_emb.copy()
+        clone.relation_emb = self.relation_emb.copy()
+        return clone

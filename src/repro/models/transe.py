@@ -1,0 +1,79 @@
+"""TransE — translation model (Gupta & Vadhiyar's baseline; future work).
+
+Score is the *negated* translation distance so that, like the other models,
+higher means more plausible:
+
+    phi(h, r, t) = -|| e_h + e_r - e_t ||_p      (p = 1 or 2)
+
+The L1 subgradient at zero is taken as 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import KGEModel
+
+
+class TransE(KGEModel):
+    """Translation-based model with L1 or L2 distance."""
+
+    width_factor = 1
+
+    def __init__(self, n_entities: int, n_relations: int, dim: int,
+                 seed: int = 0, norm: int = 1):
+        if norm not in (1, 2):
+            raise ValueError(f"norm must be 1 or 2, got {norm}")
+        super().__init__(n_entities, n_relations, dim, seed=seed)
+        self.norm = norm
+
+    def _diff(self, h, r, t) -> np.ndarray:
+        return (self.entity_emb[np.asarray(h, dtype=np.int64)]
+                + self.relation_emb[np.asarray(r, dtype=np.int64)]
+                - self.entity_emb[np.asarray(t, dtype=np.int64)])
+
+    def score(self, h, r, t):
+        d = self._diff(h, r, t)
+        if self.norm == 1:
+            return -np.abs(d).sum(axis=-1)
+        return -np.sqrt(np.maximum(np.sum(d * d, axis=-1), 1e-12))
+
+    def score_grad(self, h, r, t, upstream):
+        d = self._diff(h, r, t)
+        u = np.asarray(upstream, dtype=np.float32)[:, None]
+        if self.norm == 1:
+            dd = -np.sign(d).astype(np.float32)
+        else:
+            lengths = np.sqrt(np.maximum(np.sum(d * d, axis=-1, keepdims=True),
+                                         1e-12))
+            dd = (-d / lengths).astype(np.float32)
+        g = u * dd
+        # d phi/d h = g, d phi/d r = g, d phi/d t = -g
+        return g, g.copy(), -g
+
+    def score_all_tails(self, h, r):
+        base = (self.entity_emb[np.asarray(h, dtype=np.int64)]
+                + self.relation_emb[np.asarray(r, dtype=np.int64)])
+        diffs = base[:, None, :] - self.entity_emb[None, :, :]
+        if self.norm == 1:
+            return -np.abs(diffs).sum(axis=-1)
+        return -np.sqrt(np.maximum(np.sum(diffs * diffs, axis=-1), 1e-12))
+
+    def score_all_heads(self, r, t):
+        base = (self.entity_emb[np.asarray(t, dtype=np.int64)]
+                - self.relation_emb[np.asarray(r, dtype=np.int64)])
+        diffs = self.entity_emb[None, :, :] - base[:, None, :]
+        if self.norm == 1:
+            return -np.abs(diffs).sum(axis=-1)
+        return -np.sqrt(np.maximum(np.sum(diffs * diffs, axis=-1), 1e-12))
+
+    def flops_per_example(self, backward: bool = True) -> int:
+        forward = 4 * self.dim
+        return forward * (4 if backward else 1)
+
+    def copy(self) -> "TransE":
+        clone = TransE(self.n_entities, self.n_relations, self.dim,
+                       seed=self.seed, norm=self.norm)
+        clone.entity_emb = self.entity_emb.copy()
+        clone.relation_emb = self.relation_emb.copy()
+        return clone

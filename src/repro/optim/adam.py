@@ -1,0 +1,95 @@
+"""Adam optimiser with sparse-row updates (the paper's optimiser).
+
+Embedding training only touches the rows present in a batch, so the update
+is applied row-wise via :class:`~repro.comm.sparse.SparseRows`.  Moment
+state is dense (same shape as the parameter) but only touched rows pay the
+update cost — this mirrors TensorFlow's sparse Adam behaviour the paper's
+Horovod setup used.
+
+Bias correction uses a per-row step count (``lazy`` mode, the TF/Keras
+sparse semantics) or a global step (``dense`` mode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.sparse import SparseRows
+
+
+class AdamState:
+    """Adam state for one parameter matrix."""
+
+    def __init__(self, shape: tuple[int, int],
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8):
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ValueError(f"betas must be in [0, 1): {beta1}, {beta2}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.m = np.zeros(shape, dtype=np.float32)
+        self.v = np.zeros(shape, dtype=np.float32)
+        self.steps = np.zeros(shape[0], dtype=np.int64)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+
+    def apply_sparse(self, param: np.ndarray, grad: SparseRows,
+                     lr: float) -> None:
+        """In-place Adam update of the rows carried by ``grad``."""
+        if param.shape != self.m.shape:
+            raise ValueError(
+                f"param shape {param.shape} does not match optimiser state "
+                f"{self.m.shape}")
+        if param.shape[0] != grad.n_rows or (grad.nnz_rows
+                                             and param.shape[1] != grad.dim):
+            raise ValueError(
+                f"param shape {param.shape} does not match gradient "
+                f"({grad.n_rows}, {grad.dim})"
+            )
+        idx = grad.indices
+        if len(idx) == 0:
+            return
+        g = grad.values
+        self.steps[idx] += 1
+        t = self.steps[idx].astype(np.float64)[:, None]
+
+        m = self.m[idx]
+        v = self.v[idx]
+        m *= self.beta1
+        m += (1.0 - self.beta1) * g
+        v *= self.beta2
+        v += (1.0 - self.beta2) * (g * g)
+        self.m[idx] = m
+        self.v[idx] = v
+
+        m_hat = m / (1.0 - self.beta1 ** t)
+        v_hat = v / (1.0 - self.beta2 ** t)
+        param[idx] -= (lr * m_hat / (np.sqrt(v_hat) + self.eps)).astype(np.float32)
+
+    def apply_dense(self, param: np.ndarray, grad: np.ndarray,
+                    lr: float) -> None:
+        """In-place Adam update with a dense gradient (global step count)."""
+        if param.shape != grad.shape:
+            raise ValueError(f"param {param.shape} vs grad {grad.shape}")
+        dense = SparseRows(indices=np.arange(param.shape[0]),
+                           values=np.asarray(grad, dtype=np.float32),
+                           n_rows=param.shape[0])
+        self.apply_sparse(param, dense, lr)
+
+
+class Adam:
+    """Adam over a KGE model's two embedding matrices."""
+
+    def __init__(self, model, beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8):
+        self.entity_state = AdamState(model.entity_emb.shape, beta1, beta2, eps)
+        self.relation_state = AdamState(model.relation_emb.shape, beta1, beta2, eps)
+        self.model = model
+
+    def step(self, entity_grad: SparseRows, relation_grad: SparseRows,
+             lr: float) -> None:
+        """Apply one synchronous update from (already aggregated) gradients."""
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.entity_state.apply_sparse(self.model.entity_emb, entity_grad, lr)
+        self.relation_state.apply_sparse(self.model.relation_emb, relation_grad, lr)

@@ -1,0 +1,100 @@
+"""Learning-rate policy from the paper's experimental setup (Section 3.3/3.4).
+
+Two pieces:
+
+* :func:`scaled_initial_lr` — the capped linear-scaling rule
+  ``lr * min(cap, n_nodes)``.  The paper found uncapped linear scaling
+  (Goyal et al.) destabilised training past 4 nodes, so the cap defaults
+  to 4.
+* :class:`PlateauScheduler` — "with a tolerance of 15, reduce [the lr] by a
+  factor of 0.1 until a defined minimum learning rate ... if we do not see
+  any improvement in validation accuracy until 15 epochs, we decrease the
+  learning rate."
+"""
+
+from __future__ import annotations
+
+from ..config import (
+    PAPER_BASE_LR,
+    PAPER_LR_FACTOR,
+    PAPER_LR_PATIENCE,
+    PAPER_LR_SCALE_CAP,
+)
+
+
+def scaled_initial_lr(base_lr: float = PAPER_BASE_LR, n_nodes: int = 1,
+                      cap: int = PAPER_LR_SCALE_CAP) -> float:
+    """Capped linear lr scaling: ``base_lr * min(cap, n_nodes)``."""
+    if base_lr <= 0:
+        raise ValueError(f"base_lr must be positive, got {base_lr}")
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    if cap < 1:
+        raise ValueError(f"cap must be >= 1, got {cap}")
+    return base_lr * min(cap, n_nodes)
+
+
+class PlateauScheduler:
+    """Reduce-on-plateau lr schedule with early stopping.
+
+    Tracks a metric where **higher is better** (the paper watches validation
+    accuracy).  After ``patience`` epochs without improvement the lr decays
+    by ``factor``; once the lr would drop below ``min_lr`` the schedule
+    reports convergence (``done``) — the paper's stopping criterion.
+    """
+
+    def __init__(self, initial_lr: float,
+                 patience: int = PAPER_LR_PATIENCE,
+                 factor: float = PAPER_LR_FACTOR,
+                 min_lr: float = 1e-5,
+                 min_delta: float = 1e-4,
+                 warmup: int = 0):
+        if initial_lr <= 0 or min_lr <= 0:
+            raise ValueError("learning rates must be positive")
+        if not 0 < factor < 1:
+            raise ValueError(f"factor must be in (0, 1), got {factor}")
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup}")
+        self.lr = initial_lr
+        self.patience = patience
+        self.factor = factor
+        self.min_lr = min_lr
+        self.min_delta = min_delta
+        self.warmup = warmup
+        self.best = float("-inf")
+        self.bad_epochs = 0
+        self.done = False
+        self.n_decays = 0
+        self.epoch = 0
+
+    def step(self, metric: float) -> float:
+        """Record one epoch's validation metric; return the lr to use next.
+
+        Once :attr:`done` is True the lr is frozen and further steps are
+        no-ops.  During the first ``warmup`` epochs the metric is tracked
+        but plateaus are not counted — scaled-down runs spend a larger
+        fraction of their epochs in the initial flat phase than the paper's
+        250-400-epoch runs did, and decaying there strands training.
+        """
+        if self.done:
+            return self.lr
+        self.epoch += 1
+        if self.epoch <= self.warmup:
+            self.best = max(self.best, metric)
+            return self.lr
+        if metric > self.best + self.min_delta:
+            self.best = metric
+            self.bad_epochs = 0
+        else:
+            self.bad_epochs += 1
+            if self.bad_epochs >= self.patience:
+                new_lr = self.lr * self.factor
+                if new_lr < self.min_lr:
+                    self.done = True
+                else:
+                    self.lr = new_lr
+                    self.n_decays += 1
+                    self.bad_epochs = 0
+        return self.lr

@@ -1,0 +1,61 @@
+"""Plain SGD (optionally with momentum) — comparison optimiser.
+
+The paper uses Adam throughout; SGD is provided for ablations (it is also
+the setting most gradient-compression papers analyse, e.g. signSGD).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.sparse import SparseRows
+
+
+class SGDState:
+    """Momentum buffer for one parameter matrix."""
+
+    def __init__(self, shape: tuple[int, int], momentum: float = 0.0):
+        if not 0 <= momentum < 1:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.shape = tuple(shape)
+        self.buf = np.zeros(shape, dtype=np.float32) if momentum > 0 else None
+
+    def apply_sparse(self, param: np.ndarray, grad: SparseRows,
+                     lr: float) -> None:
+        """In-place SGD update of the rows carried by ``grad``."""
+        if param.shape != self.shape:
+            raise ValueError(
+                f"param shape {param.shape} does not match optimiser state "
+                f"{self.shape}")
+        if param.shape[0] != grad.n_rows or (grad.nnz_rows
+                                             and param.shape[1] != grad.dim):
+            raise ValueError(
+                f"param shape {param.shape} does not match gradient "
+                f"({grad.n_rows}, {grad.dim})"
+            )
+        idx = grad.indices
+        if len(idx) == 0:
+            return
+        update = grad.values
+        if self.buf is not None:
+            self.buf[idx] = self.momentum * self.buf[idx] + update
+            update = self.buf[idx]
+        param[idx] -= (lr * update).astype(np.float32)
+
+
+class SGD:
+    """SGD over a KGE model's two embedding matrices."""
+
+    def __init__(self, model, momentum: float = 0.0):
+        self.entity_state = SGDState(model.entity_emb.shape, momentum)
+        self.relation_state = SGDState(model.relation_emb.shape, momentum)
+        self.model = model
+
+    def step(self, entity_grad: SparseRows, relation_grad: SparseRows,
+             lr: float) -> None:
+        """Apply one synchronous update from aggregated gradients."""
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.entity_state.apply_sparse(self.model.entity_emb, entity_grad, lr)
+        self.relation_state.apply_sparse(self.model.relation_emb, relation_grad, lr)

@@ -1,0 +1,47 @@
+"""Distributed training engine: strategies, workers, trainer, baselines."""
+
+from .baselines import (
+    ParameterServerTopology,
+    ParameterServerTrainer,
+    allreduce_time_per_step,
+    parameter_server_time_per_step,
+)
+from .metrics import EpochLog, TrainResult
+from .strategy import (
+    PRESETS,
+    StrategyConfig,
+    baseline_allgather,
+    baseline_allreduce,
+    drs,
+    drs_1bit,
+    drs_1bit_rp_ss,
+    rs,
+    rs_1bit,
+    rs_1bit_rp_ss,
+)
+from .trainer import DistributedTrainer, TrainConfig, train
+from .worker import StepOutput, Worker
+
+__all__ = [
+    "DistributedTrainer",
+    "EpochLog",
+    "PRESETS",
+    "ParameterServerTopology",
+    "ParameterServerTrainer",
+    "StepOutput",
+    "StrategyConfig",
+    "TrainConfig",
+    "TrainResult",
+    "Worker",
+    "allreduce_time_per_step",
+    "baseline_allgather",
+    "baseline_allreduce",
+    "drs",
+    "drs_1bit",
+    "drs_1bit_rp_ss",
+    "parameter_server_time_per_step",
+    "rs",
+    "rs_1bit",
+    "rs_1bit_rp_ss",
+    "train",
+]

@@ -1,0 +1,104 @@
+"""Related-work comparators: the parameter-server training architecture.
+
+The paper's introduction motivates synchronous collectives by the parameter
+server's central-bandwidth bottleneck (Li et al., OSDI'14).  This module
+implements that comparator on the same simulated substrate so the benchmark
+suite can show the contrast quantitatively: per step, every worker *pulls*
+the embedding rows its batch touches from the server shard owners and
+*pushes* its gradient rows back; the servers' ingress/egress bandwidth is
+the bottleneck term.
+
+Convergence is identical to synchronous allreduce (the same gradients are
+summed and applied); only the communication cost model differs — which is
+exactly the comparison the paper makes qualitatively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..comm.payload import sparse_rows_bytes
+from ..comm.simulator import CommRecord
+from .strategy import StrategyConfig
+from .trainer import DistributedTrainer, TrainConfig
+
+
+@dataclass(frozen=True)
+class ParameterServerTopology:
+    """How many of the nodes act as servers (the rest are workers)."""
+
+    n_servers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ValueError("need at least one server")
+
+
+class ParameterServerTrainer(DistributedTrainer):
+    """Synchronous parameter-server variant of the trainer.
+
+    Reuses the entire local-compute pipeline; only ``_communicate`` is
+    replaced with the pull/push cost model.  Strategy compression flags are
+    ignored (classic PS pushes full-precision rows), matching the paper's
+    framing of the PS design as the unoptimised alternative.
+    """
+
+    def __init__(self, store, n_nodes: int, config: TrainConfig | None = None,
+                 network=None, topology: ParameterServerTopology | None = None,
+                 negatives: int = 1):
+        strategy = StrategyConfig(comm_mode="allgather",
+                                  negatives_sampled=negatives,
+                                  negatives_used=negatives)
+        super().__init__(store, strategy, n_nodes, config=config,
+                         network=network)
+        self.topology = topology or ParameterServerTopology()
+        if self.topology.n_servers >= n_nodes and n_nodes > 1:
+            raise ValueError("servers must be fewer than total nodes")
+
+    def _communicate(self, grads, mode, matrix_rows, residuals=None):
+        """Pull/push through the server tier; return the lossless sum."""
+        from ..comm.sparse import combine_sparse
+
+        if self.n_nodes == 1:
+            return grads[0], 0.0
+        net = self.network
+        s = self.topology.n_servers
+        dim = grads[0].dim if grads else self._entity_width
+
+        # Each worker pushes its gradient rows and pulls the same rows back
+        # after the server applies updates.  The server tier must absorb
+        # every worker's traffic: ingress bytes / (s * bandwidth).
+        per_worker_bytes = [sparse_rows_bytes(g.nnz_rows, dim) for g in grads]
+        total = 2 * sum(per_worker_bytes)  # push + pull
+        server_time = net.transfer_time(total / s, n_messages=2 * len(grads))
+        worker_time = max(net.transfer_time(2 * b, n_messages=2)
+                          for b in per_worker_bytes)
+        time = max(server_time, worker_time)
+        self.cluster.charge_collective(CommRecord(
+            op="ps_push_pull", nbytes_total=int(total),
+            n_messages=2 * len(grads), time=time))
+        return combine_sparse(grads), 0.0
+
+
+def parameter_server_time_per_step(n_workers: int, n_servers: int,
+                                   rows_per_worker: int, dim: int,
+                                   network) -> float:
+    """Closed-form PS step time (used by analytical benchmarks)."""
+    if n_workers < 1 or n_servers < 1:
+        raise ValueError("n_workers and n_servers must be >= 1")
+    per_worker = sparse_rows_bytes(rows_per_worker, dim)
+    total = 2 * per_worker * n_workers
+    server_time = network.transfer_time(total / n_servers,
+                                        n_messages=2 * n_workers)
+    worker_time = network.transfer_time(2 * per_worker, n_messages=2)
+    return max(server_time, worker_time)
+
+
+def allreduce_time_per_step(n_nodes: int, matrix_rows: int, dim: int,
+                            network) -> float:
+    """Closed-form ring-allreduce step time for the same matrix."""
+    nbytes = matrix_rows * dim * 4
+    return network.allreduce_ring_time(nbytes, n_nodes)

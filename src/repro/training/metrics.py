@@ -1,0 +1,71 @@
+"""Training telemetry: per-epoch logs and the final result record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EpochLog:
+    """Everything recorded about one epoch."""
+
+    epoch: int
+    loss: float
+    val_mrr: float
+    lr: float
+    comm_mode: str                 # "allreduce" or "allgather" actually used
+    epoch_time: float              # simulated seconds for this epoch
+    compute_time: float
+    comm_time: float
+    bytes_communicated: int
+    nonzero_entity_rows: float     # mean per step, for Fig. 2
+    selection_sparsity: float      # fraction of rows dropped by selection
+    eval_time: float = 0.0
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run on the simulated cluster."""
+
+    strategy_label: str
+    n_nodes: int
+    epochs: int
+    total_time: float              # simulated seconds, training + eval
+    final_val_mrr: float
+    logs: list[EpochLog] = field(default_factory=list)
+    test_mrr: float = float("nan")
+    test_mrr_raw: float = float("nan")
+    test_hits10: float = float("nan")
+    test_tca: float = float("nan")
+    allreduce_steps: int = 0
+    allgather_steps: int = 0
+    bytes_total: int = 0
+    converged: bool = False
+
+    @property
+    def total_hours(self) -> float:
+        """Simulated wall-clock hours (the unit the paper reports)."""
+        return self.total_time / 3600.0
+
+    @property
+    def allreduce_fraction(self) -> float:
+        """Fraction of communication steps that used allreduce."""
+        steps = self.allreduce_steps + self.allgather_steps
+        if steps == 0:
+            return 0.0
+        return self.allreduce_steps / steps
+
+    def series(self, attr: str) -> list:
+        """Extract one per-epoch column, e.g. ``series('val_mrr')``."""
+        return [getattr(log, attr) for log in self.logs]
+
+    def summary_row(self) -> dict:
+        """The paper's table columns: TT / N / TCA / MRR."""
+        return {
+            "method": self.strategy_label,
+            "nodes": self.n_nodes,
+            "TT_hours": self.total_hours,
+            "N_epochs": self.epochs,
+            "TCA": self.test_tca,
+            "MRR": self.test_mrr,
+        }

@@ -1,0 +1,151 @@
+"""Unit tests for simulated collectives: data correctness + cost charging."""
+
+import numpy as np
+import pytest
+
+from repro.comm.collectives import (
+    allgather_objects,
+    allgather_sparse,
+    allgatherv_bytes,
+    allreduce,
+    allreduce_bytes,
+    allreduce_scalar,
+    broadcast,
+)
+from repro.comm.network import NetworkModel
+from repro.comm.simulator import Cluster
+from repro.comm.sparse import SparseRows
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(3, NetworkModel(alpha=1e-6, beta=1e-9))
+
+
+class TestAllreduce:
+    def test_sum_matches_numpy(self, cluster):
+        rng = np.random.default_rng(0)
+        bufs = [rng.normal(size=(4, 5)).astype(np.float32) for _ in range(3)]
+        out = allreduce(cluster, bufs)
+        np.testing.assert_allclose(out, np.sum(bufs, axis=0), rtol=1e-5,
+                                   atol=1e-6)
+
+    def test_charges_time_and_bytes(self, cluster):
+        bufs = [np.ones((2, 2), dtype=np.float32)] * 3
+        allreduce(cluster, bufs)
+        assert cluster.elapsed > 0
+        assert cluster.stats.nbytes_total == 16
+
+    def test_wrong_part_count_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            allreduce(cluster, [np.ones(2)] * 2)
+
+    def test_shape_mismatch_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            allreduce(cluster, [np.ones(2), np.ones(3), np.ones(2)])
+
+    def test_unknown_algo_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            allreduce(cluster, [np.ones(2)] * 3, algo="tree")
+
+    def test_recursive_doubling_same_result(self, cluster):
+        bufs = [np.full(4, float(i)) for i in range(3)]
+        out = allreduce(cluster, bufs, algo="recursive_doubling")
+        np.testing.assert_allclose(out, [3.0] * 4)
+
+    def test_single_rank_free(self):
+        c = Cluster(1)
+        out = allreduce(c, [np.ones(3)])
+        np.testing.assert_allclose(out, np.ones(3))
+        assert c.elapsed == 0.0
+
+
+class TestAllreduceBytes:
+    def test_charges_without_data(self, cluster):
+        t = allreduce_bytes(cluster, 1 << 20)
+        assert t > 0
+        assert cluster.stats.nbytes_total == 1 << 20
+
+    def test_negative_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            allreduce_bytes(cluster, -1)
+
+    def test_matches_network_formula(self, cluster):
+        t = allreduce_bytes(cluster, 4096, algo="ring")
+        assert t == pytest.approx(
+            cluster.network.allreduce_ring_time(4096, 3))
+
+
+class TestAllgatherSparse:
+    def test_combines_like_dense_sum(self, cluster):
+        parts = [
+            SparseRows(np.array([0, 2]), np.array([[1.0], [2.0]], np.float32), 5),
+            SparseRows(np.array([2]), np.array([[3.0]], np.float32), 5),
+            SparseRows(np.array([4]), np.array([[4.0]], np.float32), 5),
+        ]
+        out = allgather_sparse(cluster, parts)
+        np.testing.assert_allclose(out.to_dense()[:, 0], [1, 0, 5, 0, 4])
+
+    def test_bytes_are_sum_of_blocks(self, cluster):
+        parts = [
+            SparseRows(np.array([i]), np.array([[1.0]], np.float32), 5)
+            for i in range(3)
+        ]
+        allgather_sparse(cluster, parts)
+        assert cluster.stats.nbytes_total == 3 * (4 + 4)
+
+    def test_bruck_same_data_cheaper_latency(self):
+        lat = NetworkModel(alpha=1e-3, beta=1e-12)
+        c_ring, c_bruck = Cluster(8, lat), Cluster(8, lat)
+        parts = [SparseRows(np.array([i]), np.array([[1.0]], np.float32), 8)
+                 for i in range(8)]
+        allgather_sparse(c_ring, parts, algo="ring")
+        allgather_sparse(c_bruck, parts, algo="bruck")
+        assert c_bruck.elapsed < c_ring.elapsed
+
+
+class TestAllgathervBytes:
+    def test_block_count_must_match(self, cluster):
+        with pytest.raises(ValueError):
+            allgatherv_bytes(cluster, [10, 10])
+
+    def test_negative_block_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            allgatherv_bytes(cluster, [10, -1, 10])
+
+    def test_unknown_algo_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            allgatherv_bytes(cluster, [1, 1, 1], algo="hypercube")
+
+
+class TestAllgatherObjects:
+    def test_returns_all_parts(self, cluster):
+        out = allgather_objects(cluster, ["a", "b", "c"], [1, 2, 3])
+        assert out == ["a", "b", "c"]
+        assert cluster.stats.nbytes_total == 6
+
+
+class TestBroadcast:
+    def test_returns_root_value(self, cluster):
+        v = np.arange(4)
+        out = broadcast(cluster, v, root=1)
+        np.testing.assert_array_equal(out, v)
+
+    def test_invalid_root_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            broadcast(cluster, np.ones(2), root=3)
+
+
+class TestScalarAllreduce:
+    def test_sum(self, cluster):
+        assert allreduce_scalar(cluster, [1.0, 2.0, 3.0], op="sum") == 6.0
+
+    def test_max(self, cluster):
+        assert allreduce_scalar(cluster, [1.0, 5.0, 3.0], op="max") == 5.0
+
+    def test_min(self, cluster):
+        assert allreduce_scalar(cluster, [1.0, 5.0, 3.0], op="min") == 1.0
+
+    def test_unknown_op_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            allreduce_scalar(cluster, [1.0] * 3, op="prod")

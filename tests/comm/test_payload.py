@@ -1,0 +1,76 @@
+"""Unit tests for wire-format byte accounting."""
+
+import pytest
+
+from repro.comm.payload import (
+    PayloadSize,
+    compression_ratio,
+    dense_bytes,
+    quantized_rows_bytes,
+    sparse_rows_bytes,
+)
+
+
+class TestDense:
+    def test_formula(self):
+        assert dense_bytes(100, 32) == 100 * 32 * 4
+
+    def test_zero_rows(self):
+        assert dense_bytes(0, 32) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            dense_bytes(-1, 32)
+
+
+class TestSparse:
+    def test_formula(self):
+        # 4-byte index + dim float32 per row.
+        assert sparse_rows_bytes(10, 16) == 10 * (4 + 64)
+
+    def test_sparse_smaller_than_dense_when_few_rows(self):
+        assert sparse_rows_bytes(10, 64) < dense_bytes(1000, 64)
+
+    def test_sparse_larger_than_dense_when_all_rows(self):
+        """Index overhead makes a fully-dense sparse payload bigger."""
+        assert sparse_rows_bytes(1000, 64) > dense_bytes(1000, 64)
+
+
+class TestQuantized:
+    def test_1bit_formula(self):
+        # index(4) + scale(4) + ceil(64/8)=8 packed bytes.
+        assert quantized_rows_bytes(10, 64, 1) == 10 * (4 + 4 + 8)
+
+    def test_2bit_formula(self):
+        assert quantized_rows_bytes(10, 64, 2) == 10 * (4 + 4 + 16)
+
+    def test_dim_not_multiple_of_eight_rounds_up(self):
+        assert quantized_rows_bytes(1, 9, 1) == 4 + 4 + 2
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            quantized_rows_bytes(1, 8, 3)
+
+
+class TestCompressionRatio:
+    def test_1bit_approaches_32x_for_wide_rows(self):
+        """The paper's headline factor: 32 bits -> 1 bit per element."""
+        ratio = compression_ratio(1000, 1024, 1)
+        assert 23 < ratio < 32
+
+    def test_2bit_approaches_16x(self):
+        ratio = compression_ratio(1000, 1024, 2)
+        assert 13 < ratio < 16
+
+    def test_overhead_dominates_narrow_rows(self):
+        assert compression_ratio(1000, 8, 1) < 4
+
+
+class TestPayloadSize:
+    def test_fields(self):
+        ps = PayloadSize(nbytes=100, n_messages=3)
+        assert ps.nbytes == 100 and ps.n_messages == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PayloadSize(nbytes=-5)

@@ -1,0 +1,179 @@
+"""Unit + property tests for the SparseRows gradient container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.comm.sparse import SparseRows, combine_sparse
+
+
+def make(indices, values, n_rows=10):
+    return SparseRows(indices=np.array(indices),
+                      values=np.array(values, dtype=np.float32),
+                      n_rows=n_rows)
+
+
+class TestConstruction:
+    def test_valid(self):
+        s = make([1, 3], [[1.0, 2.0], [3.0, 4.0]])
+        assert s.nnz_rows == 2 and s.dim == 2 and s.n_rows == 10
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            make([1, 10], [[1.0], [2.0]], n_rows=10)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            make([-1], [[1.0]])
+
+    def test_unsorted_indices_rejected(self):
+        with pytest.raises(ValueError):
+            make([3, 1], [[1.0], [2.0]])
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError):
+            make([1, 1], [[1.0], [2.0]])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            make([1], [[1.0], [2.0]])
+
+    def test_1d_values_rejected(self):
+        with pytest.raises(ValueError):
+            make([1], [1.0])
+
+
+class TestFromDense:
+    def test_extracts_nonzero_rows(self):
+        m = np.zeros((5, 3), dtype=np.float32)
+        m[1] = [1, 0, 0]
+        m[4] = [0, 2, 0]
+        s = SparseRows.from_dense(m)
+        assert list(s.indices) == [1, 4]
+        np.testing.assert_array_equal(s.to_dense(), m)
+
+    def test_zero_tolerance_prunes_tiny_rows(self):
+        m = np.zeros((3, 2), dtype=np.float32)
+        m[0] = [1e-9, 0]
+        m[2] = [1.0, 1.0]
+        s = SparseRows.from_dense(m, zero_tol=1e-6)
+        assert list(s.indices) == [2]
+
+    def test_all_zero_matrix(self):
+        s = SparseRows.from_dense(np.zeros((4, 2)))
+        assert s.nnz_rows == 0
+        assert s.to_dense().shape == (4, 2)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            SparseRows.from_dense(np.zeros(5))
+
+
+class TestFromRows:
+    def test_duplicates_are_summed(self):
+        """Scatter-add semantics: one entity hit twice in a batch."""
+        s = SparseRows.from_rows(np.array([2, 2, 5]),
+                                 np.array([[1.0], [2.0], [4.0]], dtype=np.float32),
+                                 n_rows=6)
+        assert list(s.indices) == [2, 5]
+        np.testing.assert_allclose(s.values, [[3.0], [4.0]])
+
+    def test_unsorted_input_is_sorted(self):
+        s = SparseRows.from_rows(np.array([5, 2]),
+                                 np.array([[1.0], [2.0]], dtype=np.float32),
+                                 n_rows=6)
+        assert list(s.indices) == [2, 5]
+
+    def test_empty_input(self):
+        s = SparseRows.from_rows(np.array([], dtype=np.int64),
+                                 np.empty((0, 3), dtype=np.float32), n_rows=6)
+        assert s.nnz_rows == 0
+
+
+class TestOperations:
+    def test_wire_bytes(self):
+        s = make([1, 3], [[1.0, 2.0], [3.0, 4.0]])
+        assert s.nbytes_wire == 2 * (4 + 2 * 4)
+
+    def test_select(self):
+        s = make([1, 3, 7], [[1.0], [2.0], [3.0]])
+        kept = s.select(np.array([True, False, True]))
+        assert list(kept.indices) == [1, 7]
+
+    def test_select_wrong_shape_rejected(self):
+        s = make([1, 3], [[1.0], [2.0]])
+        with pytest.raises(ValueError):
+            s.select(np.array([True]))
+
+    def test_scale(self):
+        s = make([0], [[2.0, 4.0]])
+        np.testing.assert_allclose(s.scale(0.5).values, [[1.0, 2.0]])
+
+    def test_scale_does_not_mutate(self):
+        s = make([0], [[2.0]])
+        s.scale(0.5)
+        np.testing.assert_allclose(s.values, [[2.0]])
+
+
+class TestCombine:
+    def test_disjoint_rows_concatenate(self):
+        a = make([1], [[1.0]])
+        b = make([3], [[2.0]])
+        c = combine_sparse([a, b])
+        assert list(c.indices) == [1, 3]
+
+    def test_overlapping_rows_sum(self):
+        a = make([1, 2], [[1.0], [10.0]])
+        b = make([2, 5], [[5.0], [7.0]])
+        c = combine_sparse([a, b])
+        np.testing.assert_allclose(c.to_dense()[:6, 0],
+                                   [0, 1, 15, 0, 0, 7])
+
+    def test_empty_parts(self):
+        a = make([], np.empty((0, 2), dtype=np.float32))
+        c = combine_sparse([a, a])
+        assert c.nnz_rows == 0
+
+    def test_no_parts_rejected(self):
+        with pytest.raises(ValueError):
+            combine_sparse([])
+
+    def test_shape_mismatch_rejected(self):
+        a = make([1], [[1.0]], n_rows=10)
+        b = make([1], [[1.0]], n_rows=20)
+        with pytest.raises(ValueError):
+            combine_sparse([a, b])
+
+
+@st.composite
+def sparse_rows(draw, n_rows=12, dim=3):
+    nnz = draw(st.integers(0, n_rows))
+    idx = draw(st.permutations(range(n_rows)))[:nnz]
+    values = draw(hnp.arrays(np.float32, (nnz, dim),
+                             elements=st.floats(-100, 100, width=32)))
+    return SparseRows.from_rows(np.array(sorted(idx), dtype=np.int64),
+                                values, n_rows=n_rows)
+
+
+class TestProperties:
+    @given(sparse_rows())
+    @settings(max_examples=50, deadline=None)
+    def test_dense_roundtrip(self, s):
+        back = SparseRows.from_dense(s.to_dense())
+        np.testing.assert_array_equal(back.to_dense(), s.to_dense())
+
+    @given(st.lists(sparse_rows(), min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_combine_matches_dense_sum(self, parts):
+        combined = combine_sparse(parts)
+        expected = sum(p.to_dense().astype(np.float64) for p in parts)
+        np.testing.assert_allclose(combined.to_dense(), expected, atol=1e-3)
+
+    @given(sparse_rows(), st.floats(-10, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_scale_linearity(self, s, factor):
+        np.testing.assert_allclose(s.scale(factor).to_dense(),
+                                   s.to_dense() * np.float32(factor),
+                                   rtol=1e-5, atol=1e-5)

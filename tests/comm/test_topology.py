@@ -1,0 +1,106 @@
+"""Unit tests for the hierarchical network topology model."""
+
+import numpy as np
+import pytest
+
+from repro.comm.network import NetworkModel
+from repro.comm.simulator import Cluster
+from repro.comm.topology import HierarchicalNetwork
+
+
+@pytest.fixture
+def net():
+    return HierarchicalNetwork(
+        intra=NetworkModel(alpha=1e-7, beta=1e-11),
+        inter=NetworkModel(alpha=1e-6, beta=1e-9),
+        ranks_per_node=4)
+
+
+class TestConstruction:
+    def test_invalid_ranks_per_node_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalNetwork(ranks_per_node=0)
+
+    def test_compute_rate_shared_across_ranks(self, net):
+        flat = net.inter.node_flops
+        assert net.node_flops == pytest.approx(flat / 4)
+
+    def test_negative_flops_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.compute_time(-1)
+
+
+class TestAllreduce:
+    def test_single_rank_free(self, net):
+        assert net.allreduce_ring_time(1 << 20, 1) == 0.0
+
+    def test_all_intra_node_is_cheap(self, net):
+        """4 ranks on one node never touch the slow network."""
+        t_intra = net.allreduce_ring_time(1 << 20, 4)
+        flat = NetworkModel(alpha=1e-6, beta=1e-9)
+        t_flat = flat.allreduce_ring_time(1 << 20, 4)
+        assert t_intra < t_flat
+
+    def test_hierarchy_beats_flat_ring_at_scale(self, net):
+        """16 ranks = 4 nodes x 4: the inter-node ring sees only 4
+        participants instead of 16, saving latency steps."""
+        nbytes = 1 << 16
+        flat = NetworkModel(alpha=1e-6, beta=1e-9)
+        assert (net.allreduce_ring_time(nbytes, 16)
+                < flat.allreduce_ring_time(nbytes, 16))
+
+    def test_recursive_doubling_variant(self, net):
+        t = net.allreduce_recursive_doubling_time(1 << 16, 16)
+        assert t > 0
+        assert net.allreduce_recursive_doubling_time(1 << 16, 1) == 0.0
+
+
+class TestAllgather:
+    def test_block_count_validated(self, net):
+        with pytest.raises(ValueError):
+            net.allgatherv_ring_time([1.0, 2.0], 3)
+
+    def test_single_rank_free(self, net):
+        assert net.allgatherv_ring_time([100.0], 1) == 0.0
+
+    def test_volume_grows_with_node_count(self, net):
+        block = 1 << 14
+        t8 = net.allgatherv_ring_time([float(block)] * 8, 8)
+        t16 = net.allgatherv_ring_time([float(block)] * 16, 16)
+        assert t16 > t8
+
+    def test_bruck_at_most_ring_latency(self, net):
+        blocks = [1000.0] * 16
+        assert (net.allgatherv_bruck_time(blocks, 16)
+                <= net.allgatherv_ring_time(blocks, 16) * 1.01)
+
+
+class TestBroadcast:
+    def test_two_level_cost(self, net):
+        t = net.broadcast_time(1 << 12, 16)
+        inter_only = net.inter.broadcast_time(1 << 12, 4)
+        assert t > inter_only  # in-node fan-out adds on top
+
+    def test_single_rank_free(self, net):
+        assert net.broadcast_time(1 << 12, 1) == 0.0
+
+
+class TestTrainerIntegration:
+    def test_trainer_accepts_hierarchical_network(self, net):
+        """Duck-typed substitution into the full training stack."""
+        from repro import TrainConfig, baseline_allreduce, train
+        from repro.kg.datasets import make_tiny_kg
+        store = make_tiny_kg()
+        cfg = TrainConfig(dim=8, batch_size=128, max_epochs=2, lr_patience=5,
+                          eval_max_queries=20)
+        result = train(store, baseline_allreduce(1), 8, config=cfg,
+                       network=net)
+        assert result.epochs == 2
+        assert result.total_time > 0
+
+    def test_cluster_accepts_hierarchical_network(self, net):
+        cluster = Cluster(8, net)
+        from repro.comm.collectives import allreduce
+        out = allreduce(cluster, [np.ones(4, dtype=np.float32)] * 8)
+        np.testing.assert_allclose(out, 8.0)
+        assert cluster.elapsed > 0

@@ -1,0 +1,97 @@
+"""Unit tests for the cluster timeline tracer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.comm.collectives import allreduce
+from repro.comm.network import NetworkModel
+from repro.comm.simulator import Cluster
+from repro.comm.tracing import ClusterTracer
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(3, NetworkModel(alpha=1e-6, beta=1e-9))
+
+
+class TestLifecycle:
+    def test_records_comm_and_compute(self, cluster):
+        with ClusterTracer(cluster) as tracer:
+            cluster.advance_compute(0, 0.5)
+            allreduce(cluster, [np.ones(8, np.float32)] * 3)
+        assert len(tracer.compute_events()) == 1
+        assert len(tracer.comm_events()) == 1
+        event = tracer.comm_events()[0]
+        assert event.name.startswith("allreduce")
+        assert event.args["bytes"] == 32
+
+    def test_detach_restores_cluster(self, cluster):
+        tracer = ClusterTracer(cluster).attach()
+        tracer.detach()
+        cluster.advance_compute(0, 1.0)
+        assert tracer.events == []
+
+    def test_double_attach_rejected(self, cluster):
+        tracer = ClusterTracer(cluster).attach()
+        with pytest.raises(RuntimeError):
+            tracer.attach()
+        tracer.detach()
+
+    def test_events_timestamps_consistent(self, cluster):
+        with ClusterTracer(cluster) as tracer:
+            cluster.advance_compute(1, 2.0)
+            allreduce(cluster, [np.ones(4, np.float32)] * 3)
+        comm = tracer.comm_events()[0]
+        # Collective starts at the straggler's clock (rank 1 at t=2).
+        assert comm.start == pytest.approx(2.0)
+
+    def test_category_totals(self, cluster):
+        with ClusterTracer(cluster) as tracer:
+            cluster.advance_compute(0, 1.0)
+            cluster.advance_compute(1, 2.0)
+        totals = tracer.total_time_by_category()
+        assert totals["compute"] == pytest.approx(3.0)
+
+
+class TestExport:
+    def test_chrome_trace_schema(self, cluster):
+        with ClusterTracer(cluster) as tracer:
+            cluster.advance_compute(0, 0.25)
+            allreduce(cluster, [np.ones(4, np.float32)] * 3)
+        trace = tracer.to_chrome_trace()
+        assert all(ev["ph"] == "X" for ev in trace)
+        assert all("ts" in ev and "dur" in ev for ev in trace)
+        # Collectives land on a dedicated virtual lane.
+        comm = [ev for ev in trace if ev["cat"] == "comm"]
+        assert comm[0]["tid"] == cluster.n_ranks
+
+    def test_save_is_valid_json(self, cluster, tmp_path):
+        with ClusterTracer(cluster) as tracer:
+            allreduce(cluster, [np.ones(4, np.float32)] * 3)
+        path = tmp_path / "trace.json"
+        tracer.save(str(path))
+        loaded = json.loads(path.read_text())
+        assert "traceEvents" in loaded
+        assert len(loaded["traceEvents"]) == 1
+
+
+class TestTrainerIntegration:
+    def test_trace_a_training_run(self):
+        from repro import TrainConfig, baseline_allgather
+        from repro.kg.datasets import make_tiny_kg
+        from repro.training import DistributedTrainer
+        store = make_tiny_kg()
+        cfg = TrainConfig(dim=8, batch_size=128, max_epochs=2, lr_patience=5,
+                          eval_max_queries=20)
+        trainer = DistributedTrainer(store, baseline_allgather(1), 3,
+                                     config=cfg)
+        with ClusterTracer(trainer.cluster) as tracer:
+            trainer.run()
+        totals = tracer.total_time_by_category()
+        assert totals["comm"] > 0
+        assert totals["compute"] > 0
+        # Every step should have produced one entity + one relation gather.
+        steps = trainer.steps_per_epoch * 2
+        assert len(tracer.comm_events()) == 2 * steps

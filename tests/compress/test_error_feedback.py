@@ -1,0 +1,93 @@
+"""Unit tests for the error-feedback residual store."""
+
+import numpy as np
+import pytest
+
+from repro.comm.sparse import SparseRows
+from repro.compress.error_feedback import ResidualStore
+from repro.compress.quantization import (
+    dequantize,
+    quantization_error,
+    quantize_1bit,
+)
+
+
+def rows(indices, values, n_rows=10, dim=2):
+    values = np.asarray(values, dtype=np.float32).reshape(len(indices), dim)
+    return SparseRows(np.array(indices), values, n_rows)
+
+
+class TestResidualStore:
+    def test_starts_empty(self):
+        store = ResidualStore(10, 2)
+        assert store.nnz_rows == 0
+
+    def test_inject_with_no_residual_is_identity(self):
+        store = ResidualStore(10, 2)
+        g = rows([1, 3], [[1, 2], [3, 4]])
+        out = store.inject(g)
+        np.testing.assert_array_equal(out.to_dense(), g.to_dense())
+
+    def test_store_then_inject_adds(self):
+        store = ResidualStore(10, 2)
+        store.store(rows([1], [[0.5, 0.5]]))
+        assert store.nnz_rows == 1
+        g = rows([1, 3], [[1, 2], [3, 4]])
+        out = store.inject(g)
+        np.testing.assert_allclose(out.to_dense()[1], [1.5, 2.5])
+        np.testing.assert_allclose(out.to_dense()[3], [3, 4])
+
+    def test_inject_includes_rows_not_in_gradient(self):
+        """Residuals for rows absent from this batch still flow in."""
+        store = ResidualStore(10, 2)
+        store.store(rows([7], [[1.0, 1.0]]))
+        g = rows([2], [[5.0, 5.0]])
+        out = store.inject(g)
+        assert set(out.indices.tolist()) == {2, 7}
+
+    def test_store_replaces_previous_residuals(self):
+        store = ResidualStore(10, 2)
+        store.store(rows([1, 2], [[1, 1], [2, 2]]))
+        store.store(rows([2], [[9, 9]]))
+        g = rows([5], [[0, 0]])
+        out = store.inject(g)
+        # Row 1's residual was cleared by the second store.
+        assert set(out.indices.tolist()) == {2, 5}
+        np.testing.assert_allclose(out.to_dense()[2], [9, 9])
+
+    def test_clear(self):
+        store = ResidualStore(10, 2)
+        store.store(rows([4], [[1, 1]]))
+        store.clear()
+        assert store.nnz_rows == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ResidualStore(0, 2)
+        store = ResidualStore(10, 2)
+        with pytest.raises(ValueError):
+            store.inject(rows([1], [[1, 1]], n_rows=20))
+        with pytest.raises(ValueError):
+            store.store(rows([1], [[1, 1]], n_rows=20))
+
+
+class TestErrorFeedbackLoop:
+    def test_compensates_quantization_bias_over_time(self):
+        """Classic EF property: the *accumulated* applied signal tracks the
+        accumulated true gradient even though each step is 1-bit."""
+        rng = np.random.default_rng(0)
+        store = ResidualStore(1, 8)
+        true_grad = rng.normal(size=(1, 8)).astype(np.float32)
+        applied = np.zeros(8)
+        total_true = np.zeros(8)
+        for _ in range(400):
+            g = SparseRows(np.array([0]), true_grad.copy(), 1)
+            injected = store.inject(g)
+            q = quantize_1bit(injected, stat="max")
+            store.store(quantization_error(injected, q))
+            applied += dequantize(q).values[0]
+            total_true += true_grad[0]
+        # Direction and scale agree within a few quantization steps.
+        scale = np.abs(total_true).max()
+        np.testing.assert_allclose(applied / scale, total_true / scale,
+                                   atol=0.05)

@@ -1,0 +1,77 @@
+"""Unit + property tests for bit packing of quantized payloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compress.packing import (
+    pack_signs,
+    pack_ternary,
+    unpack_signs,
+    unpack_ternary,
+)
+
+
+class TestSignPacking:
+    def test_roundtrip_exact(self):
+        signs = np.array([[1, -1, 1, 1, -1, -1, 1, -1, 1]], dtype=np.float32)
+        packed = pack_signs(signs)
+        assert packed.shape == (1, 2)  # 9 bits -> 2 bytes
+        back = unpack_signs(packed, 9)
+        np.testing.assert_array_equal(back, signs)
+
+    def test_packed_size_is_one_eighth(self):
+        signs = np.ones((10, 64), dtype=np.float32)
+        assert pack_signs(signs).shape == (10, 8)
+
+    def test_zero_treated_as_positive(self):
+        signs = np.array([[0.0, -1.0]])
+        back = unpack_signs(pack_signs(signs), 2)
+        np.testing.assert_array_equal(back, [[1.0, -1.0]])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            pack_signs(np.ones(8))
+        with pytest.raises(ValueError):
+            unpack_signs(np.ones(2, dtype=np.uint8), 8)
+
+    @given(hnp.arrays(np.float32, st.tuples(st.integers(1, 8),
+                                            st.integers(1, 40)),
+                      elements=st.sampled_from([-1.0, 1.0])))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, signs):
+        back = unpack_signs(pack_signs(signs), signs.shape[1])
+        np.testing.assert_array_equal(back, signs)
+
+
+class TestTernaryPacking:
+    def test_roundtrip_exact(self):
+        codes = np.array([[-1, 0, 1, 1, -1]], dtype=np.int8)
+        packed = pack_ternary(codes)
+        assert packed.shape == (1, 2)  # 5 codes at 2 bits -> 2 bytes
+        back = unpack_ternary(packed, 5)
+        np.testing.assert_array_equal(back, codes.astype(np.float32))
+
+    def test_packed_size_is_one_quarter(self):
+        codes = np.zeros((7, 64), dtype=np.int8)
+        assert pack_ternary(codes).shape == (7, 16)
+
+    def test_invalid_code_rejected(self):
+        with pytest.raises(ValueError):
+            pack_ternary(np.array([[2]]))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            pack_ternary(np.array([-1, 0, 1]))
+        with pytest.raises(ValueError):
+            unpack_ternary(np.zeros(4, dtype=np.uint8), 4)
+
+    @given(hnp.arrays(np.int8, st.tuples(st.integers(1, 8),
+                                         st.integers(1, 40)),
+                      elements=st.sampled_from([-1, 0, 1])))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, codes):
+        back = unpack_ternary(pack_ternary(codes), codes.shape[1])
+        np.testing.assert_array_equal(back, codes.astype(np.float32))

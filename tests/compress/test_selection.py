@@ -1,0 +1,123 @@
+"""Unit tests for gradient-row selection (the paper's RS strategy)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.sparse import SparseRows
+from repro.compress.selection import (
+    SELECTION_POLICIES,
+    SelectionStats,
+    random_selection,
+    select,
+    threshold_selection,
+)
+
+
+def grad_with_norms(norms, dim=4, n_rows=100):
+    """Rows whose 2-norms are exactly ``norms``."""
+    norms = np.asarray(norms, dtype=np.float32)
+    values = np.zeros((len(norms), dim), dtype=np.float32)
+    values[:, 0] = norms
+    return SparseRows(np.arange(len(norms)), values, n_rows)
+
+
+class TestRandomSelection:
+    def test_large_rows_always_kept(self):
+        """Rows with norm >= mean have keep probability 1."""
+        grad = grad_with_norms([10.0, 10.0, 10.0])
+        rng = np.random.default_rng(0)
+        kept, stats = random_selection(grad, rng)
+        assert stats.rows_kept == 3 and stats.sparsity == 0.0
+
+    def test_keep_probability_matches_norm_ratio(self):
+        """Statistical check of P(keep) = min(1, norm / mean)."""
+        # mean norm = (0.5 + 1.5) / 2 = 1.0 -> weak rows kept w.p. 0.5.
+        norms = [0.5, 1.5] * 500
+        grad = grad_with_norms(norms, n_rows=1000)
+        rng = np.random.default_rng(1)
+        kept, _ = random_selection(grad, rng)
+        weak_kept = np.isin(np.arange(0, 1000, 2), kept.indices).mean()
+        strong_kept = np.isin(np.arange(1, 1000, 2), kept.indices).mean()
+        assert weak_kept == pytest.approx(0.5, abs=0.06)
+        assert strong_kept == 1.0
+
+    def test_scale_parameter_raises_bar(self):
+        norms = [1.0] * 1000
+        grad = grad_with_norms(norms, n_rows=1000)
+        rng = np.random.default_rng(2)
+        kept, _ = random_selection(grad, rng, scale=2.0)
+        # keep prob = min(1, 1/2) = 0.5
+        assert kept.nnz_rows == pytest.approx(500, abs=60)
+
+    def test_all_zero_rows_dropped(self):
+        grad = grad_with_norms([0.0, 0.0])
+        kept, stats = random_selection(grad, np.random.default_rng(0))
+        assert kept.nnz_rows == 0 and stats.sparsity == 1.0
+
+    def test_empty_gradient(self):
+        grad = SparseRows(np.array([], dtype=np.int64),
+                          np.empty((0, 4), np.float32), 10)
+        kept, stats = random_selection(grad, np.random.default_rng(0))
+        assert kept.nnz_rows == 0 and stats.sparsity == 0.0
+
+
+class TestThresholdSelection:
+    def test_average_threshold_drops_below_mean(self):
+        grad = grad_with_norms([1.0, 2.0, 3.0])  # mean = 2
+        kept, stats = threshold_selection(grad, multiplier=1.0)
+        assert list(kept.indices) == [1, 2]
+        assert stats.sparsity == pytest.approx(1 / 3)
+
+    def test_tenth_of_average_keeps_more(self):
+        """Paper's 'average x 0.1' variant is deliberately laxer."""
+        grad = grad_with_norms([0.1, 0.3, 1.0, 2.0, 3.0])
+        _, strict = threshold_selection(grad, multiplier=1.0)
+        _, lax = threshold_selection(grad, multiplier=0.1)
+        assert lax.rows_kept > strict.rows_kept
+
+    def test_zero_multiplier_keeps_everything(self):
+        grad = grad_with_norms([0.5, 1.5])
+        kept, _ = threshold_selection(grad, multiplier=0.0)
+        assert kept.nnz_rows == 2
+
+    def test_negative_multiplier_rejected(self):
+        grad = grad_with_norms([1.0])
+        with pytest.raises(ValueError):
+            threshold_selection(grad, multiplier=-1.0)
+
+    def test_average_sparser_than_random(self):
+        """The paper's observation that the hard average threshold skips
+        too many rows compared to Bernoulli selection."""
+        rng = np.random.default_rng(3)
+        norms = rng.exponential(scale=1.0, size=2000)
+        grad = grad_with_norms(norms, n_rows=2000)
+        _, s_avg = threshold_selection(grad, multiplier=1.0)
+        _, s_rand = random_selection(grad, np.random.default_rng(4))
+        assert s_avg.sparsity > s_rand.sparsity
+
+
+class TestSelectDispatcher:
+    def test_all_policies_callable(self):
+        grad = grad_with_norms([0.5, 1.0, 2.0])
+        for name in SELECTION_POLICIES:
+            kept, stats = select(grad, name, np.random.default_rng(0))
+            assert isinstance(stats, SelectionStats)
+            assert 0 <= kept.nnz_rows <= 3
+
+    def test_none_policy_keeps_everything(self):
+        grad = grad_with_norms([0.1, 0.2])
+        kept, stats = select(grad, "none", np.random.default_rng(0))
+        assert kept.nnz_rows == 2 and stats.sparsity == 0.0
+
+    def test_unknown_policy_rejected(self):
+        grad = grad_with_norms([1.0])
+        with pytest.raises(ValueError):
+            select(grad, "topk", np.random.default_rng(0))
+
+
+class TestSelectionStats:
+    def test_sparsity_empty(self):
+        assert SelectionStats(0, 0).sparsity == 0.0
+
+    def test_sparsity_fraction(self):
+        assert SelectionStats(10, 4).sparsity == pytest.approx(0.6)

@@ -1,0 +1,124 @@
+"""Unit + property tests for the related-work sparsification comparators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.sparse import SparseRows
+from repro.compress.topk import threshold_elements, topk_rows, wangni_rows
+
+
+def grad_with_norms(norms, dim=4, n_rows=100):
+    norms = np.asarray(norms, dtype=np.float32)
+    values = np.zeros((len(norms), dim), dtype=np.float32)
+    values[:, 0] = norms
+    return SparseRows(np.arange(len(norms)), values, n_rows)
+
+
+class TestTopkRows:
+    def test_keeps_largest(self):
+        grad = grad_with_norms([1.0, 5.0, 3.0, 0.5])
+        kept, stats = topk_rows(grad, 2)
+        assert set(kept.indices.tolist()) == {1, 2}
+        assert stats.rows_kept == 2
+
+    def test_k_larger_than_rows_keeps_all(self):
+        grad = grad_with_norms([1.0, 2.0])
+        kept, _ = topk_rows(grad, 10)
+        assert kept.nnz_rows == 2
+
+    def test_k_zero_drops_all(self):
+        grad = grad_with_norms([1.0, 2.0])
+        kept, stats = topk_rows(grad, 0)
+        assert kept.nnz_rows == 0 and stats.sparsity == 1.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            topk_rows(grad_with_norms([1.0]), -1)
+
+
+class TestThresholdElements:
+    def test_keeps_largest_magnitudes(self):
+        values = np.array([[1.0, -9.0], [0.1, 4.0]], dtype=np.float32)
+        grad = SparseRows(np.array([3, 7]), values, 10)
+        payload = threshold_elements(grad, keep_fraction=0.5)
+        assert payload.nnz == 2
+        kept = set(zip(payload.rows.tolist(), payload.cols.tolist()))
+        assert kept == {(3, 1), (7, 1)}
+
+    def test_roundtrip_preserves_kept_elements(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(6, 8)).astype(np.float32)
+        grad = SparseRows(np.arange(6) * 2, values, 20)
+        payload = threshold_elements(grad, keep_fraction=0.25)
+        back = payload.to_sparse_rows().to_dense()
+        for row, col, val in zip(payload.rows, payload.cols, payload.values):
+            assert back[row, col] == val
+
+    def test_wire_overhead_is_8_bytes_per_element(self):
+        """The paper's objection: indices double the element cost."""
+        grad = grad_with_norms([1.0] * 10, dim=8)
+        payload = threshold_elements(grad, keep_fraction=1.0)
+        assert payload.nbytes_wire == payload.nnz * 12
+        # Keeping > 1/3 of elements is already worse than dense rows.
+        assert threshold_elements(grad, 1.0).nbytes_wire > grad.nbytes_wire
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            threshold_elements(grad_with_norms([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            threshold_elements(grad_with_norms([1.0]), 1.5)
+
+
+class TestWangniRows:
+    def test_unbiased_in_expectation(self):
+        """Kept rows are rescaled by 1/p, so the mean over many draws
+        reconstructs the original gradient."""
+        grad = grad_with_norms([0.5, 1.0, 2.0, 4.0])
+        rng = np.random.default_rng(1)
+        acc = np.zeros((4, 4))
+        n = 4000
+        for _ in range(n):
+            kept, _ = wangni_rows(grad, rng, target_fraction=0.5)
+            acc += kept.to_dense()[:4]
+        np.testing.assert_allclose(acc / n, grad.to_dense()[:4],
+                                   atol=0.15)
+
+    def test_target_fraction_hit_on_average(self):
+        rng = np.random.default_rng(2)
+        norms = rng.exponential(size=400)
+        grad = grad_with_norms(norms, n_rows=400)
+        kept_counts = [wangni_rows(grad, rng, 0.3)[1].rows_kept
+                       for _ in range(30)]
+        assert np.mean(kept_counts) == pytest.approx(120, rel=0.2)
+
+    def test_empty_and_zero_gradients(self):
+        empty = SparseRows(np.array([], np.int64),
+                           np.empty((0, 4), np.float32), 10)
+        kept, stats = wangni_rows(empty, np.random.default_rng(0))
+        assert kept.nnz_rows == 0
+        zeros = grad_with_norms([0.0, 0.0])
+        kept, stats = wangni_rows(zeros, np.random.default_rng(0))
+        assert kept.nnz_rows == 0 and stats.sparsity == 1.0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            wangni_rows(grad_with_norms([1.0]), np.random.default_rng(0),
+                        target_fraction=0.0)
+
+    @given(st.lists(st.floats(0.01, 100), min_size=2, max_size=50),
+           st.floats(0.1, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_high_norm_rows_kept_at_least_as_often(self, norms, frac):
+        """Keep probability is monotone in the row norm."""
+        grad = grad_with_norms(norms, n_rows=len(norms))
+        rng = np.random.default_rng(7)
+        counts = np.zeros(len(norms))
+        for _ in range(40):
+            kept, _ = wangni_rows(grad, rng, target_fraction=frac)
+            counts[kept.indices] += 1
+        order = np.argsort(norms)
+        # The strongest row is kept at least as often as the weakest
+        # (allow a little sampling noise when norms are close).
+        assert counts[order[-1]] >= counts[order[0]] - 4

@@ -1,0 +1,14 @@
+"""Shared pytest configuration for the test suite."""
+
+from hypothesis import HealthCheck, settings
+
+# Property tests exercise NumPy-heavy paths whose first call can be slow
+# (BLAS warmup) and run on shared CI machines; disable wall-clock deadlines
+# and derandomise so failures are reproducible run-to-run.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

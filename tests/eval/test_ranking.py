@@ -1,0 +1,126 @@
+"""Unit tests for link-prediction ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.ranking import RankingResult, evaluate_ranking, rank_triples
+from repro.kg.triples import TripleSet, TripleStore
+from repro.models import ComplEx, DistMult
+
+
+def toy_store(n_entities=8, n_relations=2):
+    train = TripleSet.from_array(np.array([
+        [0, 0, 1], [1, 0, 2], [2, 1, 3], [3, 1, 4], [4, 0, 5], [1, 1, 2],
+    ]))
+    valid = TripleSet.from_array(np.array([[5, 0, 6]]))
+    test = TripleSet.from_array(np.array([[6, 1, 7], [1, 1, 0]]))
+    return TripleStore(n_entities=n_entities, n_relations=n_relations,
+                       train=train, valid=valid, test=test)
+
+
+class RiggedModel(DistMult):
+    """DistMult whose embeddings we set to force known rankings."""
+
+
+def make_rigged(store, favourite_tail=7):
+    m = RiggedModel(store.n_entities, store.n_relations, 4, seed=0)
+    # Make entity `favourite_tail` score highest against everything by
+    # giving it a huge positive embedding (all-positive factors).
+    m.entity_emb[:] = 0.1
+    m.relation_emb[:] = 0.1
+    m.entity_emb[favourite_tail] = 10.0
+    return m
+
+
+class TestRankMechanics:
+    def test_perfect_model_ranks_first(self):
+        store = toy_store()
+        m = make_rigged(store, favourite_tail=7)
+        # Query (6, 1, 7): tail 7 is the unique argmax -> tail rank 1.
+        _, _, tail_raw, tail_filt = rank_triples(
+            m, store.test.subset(np.array([0])), store)
+        assert tail_raw[0] == 1.0
+        assert tail_filt[0] == 1.0
+
+    def test_tied_scores_get_mean_rank(self):
+        store = toy_store()
+        m = RiggedModel(store.n_entities, store.n_relations, 4, seed=0)
+        m.entity_emb[:] = 1.0  # every candidate scores identically
+        m.relation_emb[:] = 1.0
+        head_raw, _, tail_raw, _ = rank_triples(
+            m, store.test.subset(np.array([0])), store)
+        # 8 entities all tied: realistic rank = 1 + 0 + 7/2 = 4.5.
+        assert tail_raw[0] == pytest.approx(4.5)
+        assert head_raw[0] == pytest.approx(4.5)
+
+    def test_filtering_removes_known_competitors(self):
+        store = toy_store()
+        m = make_rigged(store, favourite_tail=2)
+        # Query (1, 1, 0) tail side: candidate (1, 1, 2) is a *train* fact
+        # and entity 2 outranks everything, so filtering must skip it.
+        _, _, tail_raw, tail_filt = rank_triples(
+            m, store.test.subset(np.array([1])), store)
+        assert tail_filt[0] < tail_raw[0]
+
+    def test_query_triple_itself_never_filtered(self):
+        """The true triple is in the dataset but must keep competing."""
+        store = toy_store()
+        m = make_rigged(store, favourite_tail=7)
+        _, _, _, tail_filt = rank_triples(
+            m, store.test.subset(np.array([0])), store)
+        assert tail_filt[0] >= 1.0
+
+
+class TestEvaluateRanking:
+    def test_result_fields_consistent(self):
+        store = toy_store()
+        m = ComplEx(store.n_entities, store.n_relations, 4, seed=0)
+        res = evaluate_ranking(m, store.test, store)
+        assert isinstance(res, RankingResult)
+        assert 0 < res.mrr <= 1
+        assert 0 <= res.hits_at_1 <= res.hits_at_3 <= res.hits_at_10 <= 1
+        assert res.n_queries == 2
+
+    def test_filtered_mrr_at_least_raw(self):
+        store = toy_store()
+        m = ComplEx(store.n_entities, store.n_relations, 4, seed=1)
+        res = evaluate_ranking(m, store.test, store)
+        assert res.mrr >= res.mrr_raw - 1e-12
+
+    def test_subsampling_deterministic(self):
+        store = toy_store()
+        m = ComplEx(store.n_entities, store.n_relations, 4, seed=0)
+        a = evaluate_ranking(m, store.test, store, max_queries=1)
+        b = evaluate_ranking(m, store.test, store, max_queries=1)
+        assert a.mrr == b.mrr and a.n_queries == 1
+
+    def test_subsampling_with_rng(self):
+        store = toy_store()
+        m = ComplEx(store.n_entities, store.n_relations, 4, seed=0)
+        res = evaluate_ranking(m, store.test, store, max_queries=1,
+                               rng=np.random.default_rng(0))
+        assert res.n_queries == 1
+
+    def test_empty_split_rejected(self):
+        store = toy_store()
+        empty = TripleSet.from_array(np.empty((0, 3), dtype=np.int64))
+        m = ComplEx(store.n_entities, store.n_relations, 4, seed=0)
+        with pytest.raises(ValueError):
+            evaluate_ranking(m, empty, store)
+
+    def test_batching_does_not_change_result(self):
+        store = toy_store()
+        m = ComplEx(store.n_entities, store.n_relations, 4, seed=0)
+        a = evaluate_ranking(m, store.test, store, batch_size=1)
+        b = evaluate_ranking(m, store.test, store, batch_size=512)
+        assert a.mrr == pytest.approx(b.mrr)
+
+    def test_perfect_model_gets_high_mrr(self):
+        """A model trained to memorise a tiny store should outrank random."""
+        store = toy_store()
+        good = make_rigged(store, favourite_tail=7)
+        rand = ComplEx(store.n_entities, store.n_relations, 4, seed=3)
+        res_good = evaluate_ranking(good, store.test.subset(np.array([0])),
+                                    store)
+        res_rand = evaluate_ranking(rand, store.test, store)
+        assert res_good.mrr > res_rand.mrr

@@ -1,0 +1,69 @@
+"""Property-based tests for the ranking metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.ranking import evaluate_ranking, rank_triples
+from repro.kg.datasets import generate_latent_kg
+from repro.models import ComplEx, DistMult
+
+
+@st.composite
+def store_and_model(draw):
+    seed = draw(st.integers(0, 10_000))
+    n_entities = draw(st.integers(12, 40))
+    n_relations = draw(st.integers(2, 6))
+    store = generate_latent_kg(n_entities, n_relations,
+                               n_triples=n_entities * 6, seed=seed)
+    model_cls = draw(st.sampled_from([ComplEx, DistMult]))
+    model = model_cls(n_entities, n_relations, 4, seed=seed + 1)
+    return store, model
+
+
+class TestRankBounds:
+    @given(store_and_model())
+    @settings(max_examples=15, deadline=None)
+    def test_ranks_within_entity_count(self, sm):
+        store, model = sm
+        head_raw, head_filt, tail_raw, tail_filt = rank_triples(
+            model, store.test, store)
+        for ranks in (head_raw, head_filt, tail_raw, tail_filt):
+            assert (ranks >= 1.0).all()
+            assert (ranks <= store.n_entities).all()
+
+    @given(store_and_model())
+    @settings(max_examples=15, deadline=None)
+    def test_filtered_rank_never_worse_than_raw(self, sm):
+        """Filtering removes competitors, so ranks can only improve."""
+        store, model = sm
+        head_raw, head_filt, tail_raw, tail_filt = rank_triples(
+            model, store.test, store)
+        assert (head_filt <= head_raw + 1e-9).all()
+        assert (tail_filt <= tail_raw + 1e-9).all()
+
+    @given(store_and_model())
+    @settings(max_examples=15, deadline=None)
+    def test_metric_ranges_and_ordering(self, sm):
+        store, model = sm
+        res = evaluate_ranking(model, store.test, store)
+        assert 0 < res.mrr <= 1
+        assert 0 < res.mrr_raw <= res.mrr + 1e-12
+        assert 0 <= res.hits_at_1 <= res.hits_at_3 <= res.hits_at_10 <= 1
+
+
+class TestScoreMonotonicity:
+    def test_boosting_true_entity_improves_its_rank(self):
+        """Raising the true tail's alignment with every query direction
+        must not hurt its rank."""
+        store = generate_latent_kg(20, 3, 120, seed=0)
+        model = DistMult(20, 3, 4, seed=1)
+        query = store.test.subset(np.array([0]))
+        _, _, before, _ = rank_triples(model, query, store)
+        # Push the true tail embedding toward the (h * r) direction.
+        h, r, t = query.heads[0], query.relations[0], query.tails[0]
+        direction = model.entity_emb[h] * model.relation_emb[r]
+        model.entity_emb[t] += 10.0 * direction / np.linalg.norm(direction)
+        _, _, after, _ = rank_triples(model, query, store)
+        assert after[0] <= before[0]

@@ -1,0 +1,59 @@
+"""Unit tests for graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.kg.analysis import analyze, describe, gini
+from repro.kg.datasets import make_fb15k_like, make_tiny_kg
+
+
+class TestGini:
+    def test_equal_values_zero(self):
+        assert gini(np.ones(10)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_values_near_one(self):
+        values = np.zeros(1000)
+        values[0] = 100.0
+        assert gini(values) > 0.95
+
+    def test_known_value(self):
+        # [0, 1]: gini = 0.5 for two items where one holds everything.
+        assert gini(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_all_zero_is_zero(self):
+        assert gini(np.zeros(5)) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini(np.array([]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini(np.array([-1.0, 2.0]))
+
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(0)
+        v = rng.exponential(size=200)
+        assert gini(v) == pytest.approx(gini(v * 37.5), abs=1e-9)
+
+
+class TestAnalyze:
+    def test_tiny_kg_stats(self):
+        stats = analyze(make_tiny_kg())
+        assert stats.n_entities == 80
+        assert stats.n_triples > 0
+        assert 0 <= stats.relation_gini <= 1
+        assert 0 <= stats.degree_gini <= 1
+        assert 0 < stats.largest_component_fraction <= 1
+
+    def test_fb15k_like_is_skewed_like_freebase(self):
+        """The structural claims DESIGN.md makes about the generator."""
+        stats = analyze(make_fb15k_like(scale=0.02))
+        assert stats.relation_gini > 0.3      # Zipf relation frequencies
+        assert stats.degree_p99_over_median > 3  # heavy-tailed degrees
+        assert stats.largest_component_fraction > 0.8  # well-connected
+        assert 30 < stats.triples_per_entity < 50
+
+    def test_describe_is_readable(self):
+        text = describe(make_tiny_kg())
+        assert "entities" in text and "gini" in text

@@ -1,0 +1,173 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.kg.datasets import (
+    _allocate_counts,
+    _zipf_weights,
+    generate_latent_kg,
+    load_store,
+    make_fb15k_like,
+    make_fb250k_like,
+    make_tiny_kg,
+    save_store,
+)
+
+
+class TestZipfAllocation:
+    def test_weights_normalised_and_decreasing(self):
+        w = _zipf_weights(50, 1.1)
+        assert w.sum() == pytest.approx(1.0)
+        assert (np.diff(w) < 0).all()
+
+    def test_allocation_sums_to_total(self):
+        counts = _allocate_counts(1000, _zipf_weights(17, 1.05))
+        assert counts.sum() == 1000
+        assert (counts >= 1).all()
+
+    def test_allocation_respects_minimum(self):
+        counts = _allocate_counts(100, _zipf_weights(10, 2.0), minimum=3)
+        assert (counts >= 3).all() and counts.sum() == 100
+
+    def test_infeasible_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            _allocate_counts(5, _zipf_weights(10, 1.0))
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_latent_kg(60, 6, 600, seed=5)
+        b = generate_latent_kg(60, 6, 600, seed=5)
+        np.testing.assert_array_equal(a.train.to_array(), b.train.to_array())
+        np.testing.assert_array_equal(a.test.to_array(), b.test.to_array())
+
+    def test_seed_changes_data(self):
+        a = generate_latent_kg(60, 6, 600, seed=5)
+        b = generate_latent_kg(60, 6, 600, seed=6)
+        assert not np.array_equal(a.train.to_array(), b.train.to_array())
+
+    def test_ids_in_range(self):
+        kg = generate_latent_kg(60, 6, 600, seed=1)
+        for split in (kg.train, kg.valid, kg.test):
+            assert split.heads.max() < 60 and split.tails.max() < 60
+            assert split.relations.max() < 6
+
+    def test_no_self_loops_without_noise(self):
+        kg = generate_latent_kg(60, 6, 600, seed=1, noise_fraction=0.0)
+        for split in (kg.train, kg.valid, kg.test):
+            assert (split.heads != split.tails).all()
+
+    def test_splits_are_disjoint(self):
+        kg = generate_latent_kg(80, 8, 900, seed=2)
+        sets = [set(map(tuple, s.to_array().tolist()))
+                for s in (kg.train, kg.valid, kg.test)]
+        assert not (sets[0] & sets[1]) and not (sets[0] & sets[2]) \
+            and not (sets[1] & sets[2])
+
+    def test_no_duplicate_triples(self):
+        kg = generate_latent_kg(80, 8, 900, seed=2, noise_fraction=0.2)
+        arr = np.concatenate([kg.train.to_array(), kg.valid.to_array(),
+                              kg.test.to_array()])
+        assert len(np.unique(arr, axis=0)) == len(arr)
+
+    def test_relation_frequencies_are_skewed(self):
+        kg = generate_latent_kg(100, 20, 3000, seed=3)
+        counts = kg.relation_counts()
+        assert counts.max() > 3 * np.median(counts)
+
+    def test_noise_fraction_validated(self):
+        with pytest.raises(ValueError):
+            generate_latent_kg(60, 6, 600, noise_fraction=1.0)
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            generate_latent_kg(2, 6, 600)
+        with pytest.raises(ValueError):
+            generate_latent_kg(60, 10, 5)
+
+    def test_bad_split_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            generate_latent_kg(60, 6, 600, valid_fraction=0.6,
+                               test_fraction=0.6)
+
+    def test_latent_structure_is_learnable_signal(self):
+        """Facts must score higher than random pairs under a fresh latent
+        re-derivation — i.e. the generator really mined top pairs."""
+        kg = generate_latent_kg(80, 6, 800, seed=9, noise_fraction=0.0)
+        # Random pairs hit the same (h, r, t) distribution support rarely.
+        rng = np.random.default_rng(0)
+        rand_t = rng.integers(0, 80, len(kg.train))
+        known = kg.is_known(kg.train.heads, kg.train.relations, rand_t)
+        assert known.mean() < 0.5  # random corruptions are mostly negatives
+
+
+class TestScaledMakers:
+    def test_fb15k_like_ratios(self):
+        kg = make_fb15k_like(scale=0.02)
+        n = len(kg.train) + len(kg.valid) + len(kg.test)
+        triples_per_entity = n / kg.n_entities
+        assert 30 < triples_per_entity < 50  # paper: ~40
+
+    def test_fb250k_like_ratios(self):
+        kg = make_fb250k_like(scale=0.002)
+        n = len(kg.train) + len(kg.valid) + len(kg.test)
+        triples_per_entity = n / kg.n_entities
+        assert 50 < triples_per_entity < 80  # paper: ~67
+
+    def test_scale_bounds_validated(self):
+        with pytest.raises(ValueError):
+            make_fb15k_like(scale=0.0)
+        with pytest.raises(ValueError):
+            make_fb15k_like(scale=1.5)
+
+    def test_minimum_relations_enforced(self):
+        kg = make_fb15k_like(scale=0.001)
+        assert kg.n_relations >= 8
+
+    def test_tiny_kg_is_small_and_fast(self):
+        kg = make_tiny_kg()
+        assert kg.n_entities <= 100
+        assert len(kg.train) < 1000
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        kg = make_tiny_kg()
+        path = str(tmp_path / "kg.npz")
+        save_store(kg, path)
+        back = load_store(path)
+        assert back.n_entities == kg.n_entities
+        assert back.n_relations == kg.n_relations
+        np.testing.assert_array_equal(back.train.to_array(),
+                                      kg.train.to_array())
+        np.testing.assert_array_equal(back.test.to_array(),
+                                      kg.test.to_array())
+
+    def test_loaded_store_membership_works(self, tmp_path):
+        kg = make_tiny_kg()
+        path = str(tmp_path / "kg.npz")
+        save_store(kg, path)
+        back = load_store(path)
+        assert back.is_known(kg.train.heads[:5], kg.train.relations[:5],
+                             kg.train.tails[:5]).all()
+
+
+class TestWn18Like:
+    def test_relation_regime(self):
+        from repro.kg.datasets import make_wn18_like
+        kg = make_wn18_like(scale=0.01)
+        # WordNet regime: very few relations, low triples-per-entity.
+        assert kg.n_relations == 18
+        n = len(kg.train) + len(kg.valid) + len(kg.test)
+        assert n / kg.n_entities < 10
+
+    def test_relation_partition_feasible_up_to_18_workers(self):
+        from repro.kg.datasets import make_wn18_like
+        from repro.kg.partition import relation_partition
+        kg = make_wn18_like(scale=0.01)
+        part = relation_partition(kg.train, 16)
+        assert part.relations_disjoint()
+        import pytest
+        with pytest.raises(ValueError):
+            relation_partition(kg.train, 19)

@@ -1,0 +1,101 @@
+"""Unit tests for standard-format dataset loaders."""
+
+import numpy as np
+import pytest
+
+from repro.kg.datasets import make_tiny_kg
+from repro.kg.io import load_openke_dir, load_tsv, save_openke_dir
+
+
+class TestOpenKE:
+    def test_roundtrip(self, tmp_path):
+        store = make_tiny_kg()
+        path = str(tmp_path / "openke")
+        save_openke_dir(store, path)
+        back = load_openke_dir(path)
+        assert back.n_entities == store.n_entities
+        assert back.n_relations == store.n_relations
+        np.testing.assert_array_equal(back.train.to_array(),
+                                      store.train.to_array())
+        np.testing.assert_array_equal(back.test.to_array(),
+                                      store.test.to_array())
+
+    def test_column_order_is_head_tail_relation(self, tmp_path):
+        """OpenKE's notorious h-t-r column order must be honoured."""
+        d = tmp_path / "d"
+        d.mkdir()
+        (d / "entity2id.txt").write_text("3\ne0\t0\ne1\t1\ne2\t2\n")
+        (d / "relation2id.txt").write_text("2\nr0\t0\nr1\t1\n")
+        for split in ("train", "valid", "test"):
+            (d / f"{split}2id.txt").write_text("1\n0 2 1\n")  # h=0 t=2 r=1
+        store = load_openke_dir(str(d))
+        assert store.train.heads[0] == 0
+        assert store.train.relations[0] == 1
+        assert store.train.tails[0] == 2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_openke_dir(str(tmp_path))
+
+    def test_name_defaults_to_directory(self, tmp_path):
+        store = make_tiny_kg()
+        path = str(tmp_path / "fb15k")
+        save_openke_dir(store, path)
+        assert load_openke_dir(path).name == "fb15k"
+
+
+class TestTsv:
+    def _write(self, tmp_path, rows_by_split):
+        paths = {}
+        for split, rows in rows_by_split.items():
+            p = tmp_path / f"{split}.tsv"
+            p.write_text("".join("\t".join(row) + "\n" for row in rows))
+            paths[split] = str(p)
+        return paths
+
+    def test_string_ids_interned(self, tmp_path):
+        paths = self._write(tmp_path, {
+            "train": [("paris", "capital_of", "france"),
+                      ("berlin", "capital_of", "germany")],
+            "valid": [("rome", "capital_of", "italy")],
+            "test": [("madrid", "capital_of", "spain")],
+        })
+        store = load_tsv(paths["train"], paths["valid"], paths["test"])
+        assert store.n_relations == 1
+        assert store.n_entities == 8
+        assert len(store.train) == 2
+
+    def test_integer_ids_used_directly(self, tmp_path):
+        paths = self._write(tmp_path, {
+            "train": [("0", "0", "1"), ("1", "1", "2")],
+            "valid": [("2", "0", "0")],
+            "test": [("0", "1", "2")],
+        })
+        store = load_tsv(paths["train"], paths["valid"], paths["test"])
+        assert store.n_entities == 3
+        assert store.n_relations == 2
+        assert store.train.heads[0] == 0 and store.train.tails[0] == 1
+
+    def test_bad_column_count_raises(self, tmp_path):
+        p = tmp_path / "bad.tsv"
+        p.write_text("a\tb\n")
+        with pytest.raises(ValueError):
+            load_tsv(str(p), str(p), str(p))
+
+    def test_empty_file_raises(self, tmp_path):
+        p = tmp_path / "empty.tsv"
+        p.write_text("")
+        with pytest.raises(ValueError):
+            load_tsv(str(p), str(p), str(p))
+
+    def test_loaded_dataset_is_trainable(self, tmp_path):
+        """Full pipeline smoke: external format -> training run."""
+        store = make_tiny_kg()
+        path = str(tmp_path / "openke")
+        save_openke_dir(store, path)
+        back = load_openke_dir(path)
+        from repro import TrainConfig, baseline_allreduce, train
+        cfg = TrainConfig(dim=8, batch_size=128, max_epochs=2, lr_patience=5,
+                          eval_max_queries=20)
+        result = train(back, baseline_allreduce(1), 2, config=cfg)
+        assert result.epochs == 2

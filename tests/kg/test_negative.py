@@ -1,0 +1,156 @@
+"""Unit + property tests for negative sampling and hardest-negative selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg.negative import (
+    NegativeBatch,
+    corrupt_batch,
+    select_all,
+    select_hardest,
+)
+from repro.kg.triples import TripleSet
+from tests.kg.test_triples import small_store
+
+
+def positives(n=6):
+    rng = np.random.default_rng(0)
+    return TripleSet(heads=rng.integers(0, 20, n),
+                     relations=rng.integers(0, 4, n),
+                     tails=rng.integers(0, 20, n))
+
+
+class TestCorruptBatch:
+    def test_shapes(self):
+        batch = corrupt_batch(positives(6), 20, k=5,
+                              rng=np.random.default_rng(1))
+        assert batch.heads.shape == (6, 5)
+        assert batch.n_positives == 6 and batch.n_candidates == 5
+
+    def test_relation_never_corrupted(self):
+        pos = positives(8)
+        batch = corrupt_batch(pos, 20, k=4, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(
+            batch.relations, np.repeat(pos.relations[:, None], 4, axis=1))
+
+    def test_exactly_one_side_corrupted(self):
+        """Per candidate, either head or tail differs — never both."""
+        pos = positives(50)
+        batch = corrupt_batch(pos, 1000, k=3, rng=np.random.default_rng(2))
+        h_same = batch.heads == pos.heads[:, None]
+        t_same = batch.tails == pos.tails[:, None]
+        # With 1000 entities a replacement collides with the original
+        # rarely; at least one side must always be original.
+        assert (h_same | t_same).all()
+
+    def test_head_prob_zero_only_corrupts_tails(self):
+        pos = positives(10)
+        batch = corrupt_batch(pos, 50, k=4, rng=np.random.default_rng(3),
+                              head_prob=0.0)
+        np.testing.assert_array_equal(batch.heads,
+                                      np.repeat(pos.heads[:, None], 4, axis=1))
+
+    def test_head_prob_one_only_corrupts_heads(self):
+        pos = positives(10)
+        batch = corrupt_batch(pos, 50, k=4, rng=np.random.default_rng(3),
+                              head_prob=1.0)
+        np.testing.assert_array_equal(batch.tails,
+                                      np.repeat(pos.tails[:, None], 4, axis=1))
+
+    def test_store_filtering_reduces_false_negatives(self):
+        store = small_store()
+        pos = store.train
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        plain = corrupt_batch(pos, store.n_entities, k=50, rng=rng_a)
+        filt = corrupt_batch(pos, store.n_entities, k=50, rng=rng_b,
+                             store=store)
+        def known_frac(b):
+            h, r, t = b.flatten()
+            return store.is_known(h, r, t).mean()
+        assert known_frac(filt) <= known_frac(plain)
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ValueError):
+            corrupt_batch(positives(2), 20, k=0, rng=np.random.default_rng(0))
+
+
+class TestNegativeBatch:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            NegativeBatch(heads=np.zeros((2, 3)), relations=np.zeros((2, 2)),
+                          tails=np.zeros((2, 3)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            NegativeBatch(heads=np.zeros(3), relations=np.zeros(3),
+                          tails=np.zeros(3))
+
+    def test_flatten_order(self):
+        b = NegativeBatch(heads=np.array([[1, 2], [3, 4]]),
+                          relations=np.zeros((2, 2), dtype=int),
+                          tails=np.array([[5, 6], [7, 8]]))
+        h, _, t = b.flatten()
+        np.testing.assert_array_equal(h, [1, 2, 3, 4])
+        np.testing.assert_array_equal(t, [5, 6, 7, 8])
+
+    def test_take_selects_one_per_row(self):
+        b = NegativeBatch(heads=np.array([[1, 2], [3, 4]]),
+                          relations=np.zeros((2, 2), dtype=int),
+                          tails=np.array([[5, 6], [7, 8]]))
+        h, _, t = b.take(np.array([1, 0]))
+        np.testing.assert_array_equal(h, [2, 3])
+        np.testing.assert_array_equal(t, [6, 7])
+
+
+class TestSelectHardest:
+    def test_picks_highest_score(self):
+        """Hardest negative = the one the model scores least negative."""
+        b = NegativeBatch(heads=np.array([[10, 11, 12]]),
+                          relations=np.zeros((1, 3), dtype=int),
+                          tails=np.array([[20, 21, 22]]))
+        scores = np.array([[-5.0, -0.1, -3.0]])
+        h, _, t = select_hardest(b, scores)
+        assert h[0] == 11 and t[0] == 21
+
+    def test_top_m_selection(self):
+        b = NegativeBatch(heads=np.array([[1, 2, 3, 4]]),
+                          relations=np.zeros((1, 4), dtype=int),
+                          tails=np.array([[5, 6, 7, 8]]))
+        scores = np.array([[0.1, 0.9, 0.5, 0.7]])
+        h, _, _ = select_hardest(b, scores, m=2)
+        assert set(h.tolist()) == {2, 4}
+
+    def test_score_shape_mismatch_rejected(self):
+        b = corrupt_batch(positives(3), 20, k=2, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            select_hardest(b, np.zeros((3, 5)))
+
+    def test_m_out_of_range_rejected(self):
+        b = corrupt_batch(positives(3), 20, k=2, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            select_hardest(b, np.zeros((3, 2)), m=3)
+
+    def test_select_all_uses_everything(self):
+        b = corrupt_batch(positives(4), 20, k=3, rng=np.random.default_rng(0))
+        h, r, t = select_all(b)
+        assert len(h) == 12
+
+    @given(st.integers(1, 8), st.integers(2, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_hardest_beats_random_choice(self, b_size, k):
+        """The selected candidate always has the max score in its row."""
+        rng = np.random.default_rng(b_size * 100 + k)
+        batch = NegativeBatch(
+            heads=rng.integers(0, 50, (b_size, k)),
+            relations=rng.integers(0, 5, (b_size, k)),
+            tails=rng.integers(0, 50, (b_size, k)))
+        scores = rng.normal(size=(b_size, k))
+        _, _, _ = select_hardest(batch, scores)
+        cols = np.argmax(scores, axis=1)
+        h, r, t = batch.take(cols)
+        h2, r2, t2 = select_hardest(batch, scores)
+        np.testing.assert_array_equal(h, h2)
+        np.testing.assert_array_equal(t, t2)

@@ -1,0 +1,146 @@
+"""Unit + property tests for triple partitioning, incl. the paper's Table 3."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg.partition import (
+    entity_partition,
+    relation_partition,
+    uniform_partition,
+)
+from repro.kg.triples import TripleSet
+
+
+def triples_with_relations(relations):
+    n = len(relations)
+    return TripleSet(heads=np.arange(n) % 7,
+                     relations=np.array(relations),
+                     tails=(np.arange(n) + 1) % 7)
+
+
+class TestPaperTable3:
+    """The worked example from the paper's Section 4.4 (Table 3)."""
+
+    def test_exact_paper_split(self):
+        # S.N. 1-5: heads 1,2,3,6,7; relations 1,1,2,3,3; tails 2,10,5,9,8
+        triples = TripleSet(heads=np.array([1, 2, 3, 6, 7]),
+                            relations=np.array([1, 1, 2, 3, 3]),
+                            tails=np.array([2, 10, 5, 9, 8]))
+        part = relation_partition(triples, 2)
+        # "assign the first and second triples to processor-1 and the rest
+        # to processor-2": relations {1} vs {2, 3}.
+        assert sorted(part.relations_per_part[0].tolist()) == [1]
+        assert sorted(part.relations_per_part[1].tolist()) == [2, 3]
+        assert len(part.parts[0]) == 2 and len(part.parts[1]) == 3
+
+    def test_paper_split_is_disjoint(self):
+        triples = TripleSet(heads=np.array([1, 2, 3, 6, 7]),
+                            relations=np.array([1, 1, 2, 3, 3]),
+                            tails=np.array([2, 10, 5, 9, 8]))
+        assert relation_partition(triples, 2).relations_disjoint()
+
+
+class TestRelationPartition:
+    def test_no_relation_spans_workers(self):
+        rng = np.random.default_rng(0)
+        triples = triples_with_relations(rng.integers(0, 12, 500))
+        part = relation_partition(triples, 4)
+        assert part.relations_disjoint()
+
+    def test_every_triple_assigned_exactly_once(self):
+        rng = np.random.default_rng(1)
+        triples = triples_with_relations(rng.integers(0, 10, 300))
+        part = relation_partition(triples, 3)
+        total = np.concatenate([p.to_array() for p in part.parts])
+        assert len(total) == len(triples)
+        assert sorted(map(tuple, total.tolist())) == \
+            sorted(map(tuple, triples.to_array().tolist()))
+
+    def test_balanced_for_uniform_relations(self):
+        triples = triples_with_relations(np.repeat(np.arange(8), 50))
+        part = relation_partition(triples, 4)
+        assert part.imbalance() == pytest.approx(1.0)
+
+    def test_skewed_relations_bounded_by_largest(self):
+        """A giant relation cannot be split, so imbalance is bounded by it."""
+        relations = np.concatenate([np.zeros(90, dtype=int),
+                                    np.arange(1, 11)])
+        part = relation_partition(triples_with_relations(relations), 2)
+        sizes = sorted(part.sizes.tolist())
+        assert sizes[-1] == 90  # the giant relation stays whole
+
+    def test_too_few_relations_rejected(self):
+        triples = triples_with_relations([0, 0, 1, 1])
+        with pytest.raises(ValueError):
+            relation_partition(triples, 3)
+
+    def test_single_worker_gets_everything(self):
+        triples = triples_with_relations([0, 1, 2, 0])
+        part = relation_partition(triples, 1)
+        assert len(part.parts[0]) == 4
+
+    def test_workers_equal_relations(self):
+        """p == #relations: every worker gets exactly one relation."""
+        triples = triples_with_relations([0, 0, 1, 2, 2, 2, 3])
+        part = relation_partition(triples, 4)
+        assert part.relations_disjoint()
+        assert all(len(r) == 1 for r in part.relations_per_part)
+
+    @given(st.lists(st.integers(0, 9), min_size=30, max_size=200),
+           st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_for_any_input(self, relations, n_parts):
+        triples = triples_with_relations(relations)
+        n_distinct = len(set(relations))
+        if n_distinct < n_parts:
+            with pytest.raises(ValueError):
+                relation_partition(triples, n_parts)
+            return
+        part = relation_partition(triples, n_parts)
+        assert part.relations_disjoint()
+        assert int(part.sizes.sum()) == len(triples)
+        assert all(size > 0 for size in part.sizes)
+
+
+class TestUniformPartition:
+    def test_sizes_near_equal(self):
+        triples = triples_with_relations(list(range(10)) * 10)
+        part = uniform_partition(triples, 3)
+        assert max(part.sizes) - min(part.sizes) <= 1
+
+    def test_preserves_all_triples(self):
+        triples = triples_with_relations(list(range(5)) * 9)
+        part = uniform_partition(triples, 4,
+                                 rng=np.random.default_rng(0))
+        total = sum(len(p) for p in part.parts)
+        assert total == len(triples)
+
+    def test_relations_typically_overlap(self):
+        """The contrast with relation partition: no disjointness guarantee."""
+        triples = triples_with_relations([0, 1] * 50)
+        part = uniform_partition(triples, 2,
+                                 rng=np.random.default_rng(0))
+        assert not part.relations_disjoint()
+
+    def test_more_parts_than_triples_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_partition(triples_with_relations([0, 1]), 3)
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_partition(triples_with_relations([0, 1]), 0)
+
+
+class TestEntityPartition:
+    def test_triples_follow_head_bucket(self):
+        triples = triples_with_relations(list(range(6)) * 20)
+        part = entity_partition(triples, 3, rng=np.random.default_rng(0))
+        assert int(part.sizes.sum()) == len(triples)
+
+    def test_scheme_label(self):
+        triples = triples_with_relations([0, 1, 2, 3])
+        assert entity_partition(triples, 2).scheme == "entity"
+        assert uniform_partition(triples, 2).scheme == "uniform"
+        assert relation_partition(triples, 2).scheme == "relation"

@@ -1,0 +1,144 @@
+"""Unit tests for triple storage and membership structures."""
+
+import numpy as np
+import pytest
+
+from repro.kg.triples import TripleSet, TripleStore, encode_triples
+
+
+def small_store():
+    train = TripleSet.from_array(np.array([
+        [0, 0, 1], [1, 0, 2], [2, 1, 3], [3, 1, 0], [0, 2, 3],
+    ]))
+    valid = TripleSet.from_array(np.array([[1, 1, 2]]))
+    test = TripleSet.from_array(np.array([[2, 0, 0]]))
+    return TripleStore(n_entities=4, n_relations=3, train=train,
+                       valid=valid, test=test, name="small")
+
+
+class TestTripleSet:
+    def test_from_array_roundtrip(self):
+        arr = np.array([[1, 2, 3], [4, 5, 6]])
+        ts = TripleSet.from_array(arr)
+        np.testing.assert_array_equal(ts.to_array(), arr)
+
+    def test_length(self):
+        assert len(TripleSet.from_array(np.array([[0, 0, 0]]))) == 1
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            TripleSet.from_array(np.array([[1, 2], [3, 4]]))
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TripleSet(heads=np.array([1, 2]), relations=np.array([0]),
+                      tails=np.array([3, 4]))
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(ValueError):
+            TripleSet(heads=np.array([[1]]), relations=np.array([0]),
+                      tails=np.array([3]))
+
+    def test_subset_by_indices(self):
+        ts = TripleSet.from_array(np.array([[0, 0, 1], [1, 1, 2], [2, 2, 0]]))
+        sub = ts.subset(np.array([2, 0]))
+        np.testing.assert_array_equal(sub.to_array(),
+                                      [[2, 2, 0], [0, 0, 1]])
+
+    def test_subset_by_mask(self):
+        ts = TripleSet.from_array(np.array([[0, 0, 1], [1, 1, 2]]))
+        sub = ts.subset(ts.relations == 1)
+        assert len(sub) == 1 and sub.heads[0] == 1
+
+    def test_shuffled_is_permutation(self):
+        ts = TripleSet.from_array(np.arange(30).reshape(10, 3) % 5)
+        shuf = ts.shuffled(np.random.default_rng(0))
+        assert sorted(map(tuple, shuf.to_array().tolist())) == \
+            sorted(map(tuple, ts.to_array().tolist()))
+
+    def test_sort_by_relation_is_stable(self):
+        ts = TripleSet.from_array(np.array(
+            [[5, 2, 0], [1, 0, 0], [2, 2, 0], [3, 0, 0]]))
+        s = ts.sort_by_relation()
+        np.testing.assert_array_equal(s.relations, [0, 0, 2, 2])
+        # Stability: original order preserved within a relation.
+        np.testing.assert_array_equal(s.heads, [1, 3, 5, 2])
+
+
+class TestEncodeTriples:
+    def test_distinct_triples_distinct_keys(self):
+        h = np.array([0, 0, 1, 0])
+        r = np.array([0, 1, 0, 0])
+        t = np.array([1, 1, 1, 2])
+        keys = encode_triples(h, r, t)
+        assert len(np.unique(keys)) == 4
+
+    def test_decode_consistency(self):
+        """Same triple always maps to the same key."""
+        a = encode_triples(np.array([7]), np.array([3]), np.array([9]))
+        b = encode_triples(np.array([7]), np.array([3]), np.array([9]))
+        assert a[0] == b[0]
+
+    def test_capacity_overflow_rejected(self):
+        big = np.array([1 << 22])
+        with pytest.raises(ValueError):
+            encode_triples(big, np.array([0]), np.array([0]))
+
+    def test_bit_budget_checked(self):
+        with pytest.raises(ValueError):
+            encode_triples(np.array([0]), np.array([0]), np.array([0]),
+                           entity_bits=30, relation_bits=30)
+
+
+class TestTripleStore:
+    def test_out_of_range_entity_rejected(self):
+        with pytest.raises(ValueError):
+            TripleStore(n_entities=2, n_relations=1,
+                        train=TripleSet.from_array(np.array([[0, 0, 5]])),
+                        valid=TripleSet.from_array(np.array([[0, 0, 1]])),
+                        test=TripleSet.from_array(np.array([[1, 0, 0]])))
+
+    def test_out_of_range_relation_rejected(self):
+        with pytest.raises(ValueError):
+            TripleStore(n_entities=3, n_relations=1,
+                        train=TripleSet.from_array(np.array([[0, 1, 2]])),
+                        valid=TripleSet.from_array(np.array([[0, 0, 1]])),
+                        test=TripleSet.from_array(np.array([[1, 0, 0]])))
+
+    def test_is_known_finds_every_split(self):
+        store = small_store()
+        # train, valid, test members respectively
+        known = store.is_known(np.array([0, 1, 2]), np.array([0, 1, 0]),
+                               np.array([1, 2, 0]))
+        assert known.all()
+
+    def test_is_known_rejects_absent(self):
+        store = small_store()
+        assert not store.is_known(np.array([3]), np.array([2]),
+                                  np.array([1]))[0]
+
+    def test_is_known_matches_python_set(self):
+        store = small_store()
+        truth = {tuple(row) for split in (store.train, store.valid, store.test)
+                 for row in split.to_array().tolist()}
+        rng = np.random.default_rng(1)
+        h = rng.integers(0, 4, 200)
+        r = rng.integers(0, 3, 200)
+        t = rng.integers(0, 4, 200)
+        got = store.is_known(h, r, t)
+        expected = np.array([(int(a), int(b), int(c)) in truth
+                             for a, b, c in zip(h, r, t)])
+        np.testing.assert_array_equal(got, expected)
+
+    def test_relation_counts(self):
+        store = small_store()
+        np.testing.assert_array_equal(store.relation_counts(), [2, 2, 1])
+
+    def test_entity_degrees(self):
+        store = small_store()
+        deg = store.entity_degrees()
+        assert deg.sum() == 2 * len(store.train)
+
+    def test_summary(self):
+        s = small_store().summary()
+        assert s["entities"] == 4 and s["train"] == 5

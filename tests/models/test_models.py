@@ -1,0 +1,279 @@
+"""Unit tests common to all KGE models: scoring identities and exact
+gradient checks against numerical differentiation."""
+
+import numpy as np
+import pytest
+
+from repro.models import ComplEx, DistMult, TransE, make_model
+
+MODELS = [
+    pytest.param(lambda: ComplEx(12, 4, 5, seed=0), id="complex"),
+    pytest.param(lambda: DistMult(12, 4, 5, seed=0), id="distmult"),
+    pytest.param(lambda: TransE(12, 4, 5, seed=0, norm=2), id="transe-l2"),
+    pytest.param(lambda: TransE(12, 4, 5, seed=0, norm=1), id="transe-l1"),
+]
+
+
+def batch(rng, n=6, n_entities=12, n_relations=4):
+    return (rng.integers(0, n_entities, n), rng.integers(0, n_relations, n),
+            rng.integers(0, n_entities, n))
+
+
+@pytest.mark.parametrize("maker", MODELS)
+class TestScoring:
+    def test_score_shape(self, maker):
+        m = maker()
+        h, r, t = batch(np.random.default_rng(0))
+        assert m.score(h, r, t).shape == (6,)
+
+    def test_score_all_tails_matches_pointwise(self, maker):
+        m = maker()
+        rng = np.random.default_rng(1)
+        h, r, _ = batch(rng, n=4)
+        all_scores = m.score_all_tails(h, r)
+        assert all_scores.shape == (4, 12)
+        for i in range(4):
+            for t in range(12):
+                expected = m.score(h[i:i + 1], r[i:i + 1], np.array([t]))[0]
+                assert all_scores[i, t] == pytest.approx(expected, abs=1e-4)
+
+    def test_score_all_heads_matches_pointwise(self, maker):
+        m = maker()
+        rng = np.random.default_rng(2)
+        _, r, t = batch(rng, n=4)
+        all_scores = m.score_all_heads(r, t)
+        assert all_scores.shape == (4, 12)
+        for i in range(4):
+            for h in range(12):
+                expected = m.score(np.array([h]), r[i:i + 1], t[i:i + 1])[0]
+                assert all_scores[i, h] == pytest.approx(expected, abs=1e-4)
+
+    def test_gradients_match_numerical(self, maker):
+        """The closed-form backward equals central finite differences."""
+        m = maker()
+        rng = np.random.default_rng(3)
+        h, r, t = batch(rng, n=5)
+        upstream = rng.normal(size=5).astype(np.float32)
+        g_h, g_r, g_t = m.score_grad(h, r, t, upstream)
+
+        eps = 1e-3
+
+        def objective():
+            return float(np.dot(upstream, m.score(h, r, t)))
+
+        # Entity gradient rows: perturb one (example, coordinate) at a time.
+        width = m.entity_emb.shape[1]
+        for ex in range(5):
+            for coord in range(0, width, 3):
+                orig = m.entity_emb[h[ex], coord]
+                m.entity_emb[h[ex], coord] = orig + eps
+                up = objective()
+                m.entity_emb[h[ex], coord] = orig - eps
+                dn = objective()
+                m.entity_emb[h[ex], coord] = orig
+                num = (up - dn) / (2 * eps)
+                # All examples sharing this (row, coord) contribute.
+                analytic = sum(g_h[j, coord] for j in range(5)
+                               if h[j] == h[ex])
+                analytic += sum(g_t[j, coord] for j in range(5)
+                                if t[j] == h[ex])
+                assert analytic == pytest.approx(num, abs=2e-2), \
+                    f"entity grad mismatch at ex={ex} coord={coord}"
+
+        # Relation gradient.
+        width_r = m.relation_emb.shape[1]
+        for ex in range(5):
+            for coord in range(0, width_r, 3):
+                orig = m.relation_emb[r[ex], coord]
+                m.relation_emb[r[ex], coord] = orig + eps
+                up = objective()
+                m.relation_emb[r[ex], coord] = orig - eps
+                dn = objective()
+                m.relation_emb[r[ex], coord] = orig
+                num = (up - dn) / (2 * eps)
+                analytic = sum(g_r[j, coord] for j in range(5)
+                               if r[j] == r[ex])
+                assert analytic == pytest.approx(num, abs=2e-2), \
+                    f"relation grad mismatch at ex={ex} coord={coord}"
+
+    def test_batch_gradients_sparse_shape(self, maker):
+        m = maker()
+        rng = np.random.default_rng(4)
+        h, r, t = batch(rng)
+        eg, rg = m.batch_gradients(h, r, t, rng.normal(size=6))
+        assert eg.n_rows == 12 and rg.n_rows == 4
+        assert set(eg.indices.tolist()) == set(h.tolist()) | set(t.tolist())
+        assert set(rg.indices.tolist()) == set(r.tolist())
+
+    def test_copy_is_independent(self, maker):
+        m = maker()
+        clone = m.copy()
+        clone.entity_emb[0, 0] += 1.0
+        assert m.entity_emb[0, 0] != clone.entity_emb[0, 0]
+
+    def test_flops_positive_and_backward_heavier(self, maker):
+        m = maker()
+        fwd = m.flops_per_example(backward=False)
+        bwd = m.flops_per_example(backward=True)
+        assert 0 < fwd < bwd
+
+
+class TestComplExSpecifics:
+    def test_score_matches_complex_arithmetic(self):
+        """Equation (1): Re(<e_h, e_r, conj(e_t)>) via numpy complex."""
+        m = ComplEx(6, 3, 4, seed=1)
+        h, r, t = np.array([0, 3]), np.array([1, 2]), np.array([5, 4])
+        e = m.entity_emb[:, :4] + 1j * m.entity_emb[:, 4:]
+        w = m.relation_emb[:, :4] + 1j * m.relation_emb[:, 4:]
+        expected = np.real(np.sum(e[h] * w[r] * np.conj(e[t]), axis=1))
+        np.testing.assert_allclose(m.score(h, r, t), expected, rtol=1e-5)
+
+    def test_width_is_twice_dim(self):
+        m = ComplEx(6, 3, 4)
+        assert m.entity_emb.shape == (6, 8)
+
+    def test_asymmetric_relations_supported(self):
+        """ComplEx can give (h, r, t) and (t, r, h) different scores —
+        the property DistMult lacks."""
+        m = ComplEx(6, 3, 4, seed=2)
+        s_fwd = m.score(np.array([0]), np.array([0]), np.array([1]))
+        s_rev = m.score(np.array([1]), np.array([0]), np.array([0]))
+        assert abs(s_fwd[0] - s_rev[0]) > 1e-6
+
+
+class TestDistMultSpecifics:
+    def test_symmetric_in_head_tail(self):
+        m = DistMult(6, 3, 4, seed=2)
+        s_fwd = m.score(np.array([0]), np.array([0]), np.array([1]))
+        s_rev = m.score(np.array([1]), np.array([0]), np.array([0]))
+        assert s_fwd[0] == pytest.approx(s_rev[0])
+
+
+class TestTransESpecifics:
+    def test_scores_are_negative_distances(self):
+        m = TransE(6, 3, 4, seed=0, norm=2)
+        s = m.score(np.array([0, 1]), np.array([0, 1]), np.array([2, 3]))
+        assert (s <= 0).all()
+
+    def test_perfect_translation_scores_zero(self):
+        m = TransE(6, 3, 4, seed=0, norm=1)
+        m.entity_emb[2] = m.entity_emb[0] + m.relation_emb[1]
+        s = m.score(np.array([0]), np.array([1]), np.array([2]))
+        assert s[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_invalid_norm_rejected(self):
+        with pytest.raises(ValueError):
+            TransE(6, 3, 4, norm=3)
+
+
+class TestRegistry:
+    def test_make_model_by_name(self):
+        m = make_model("complex", 10, 3, 4)
+        assert isinstance(m, ComplEx)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_model("rescal", 10, 3, 4)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ComplEx(0, 3, 4)
+        with pytest.raises(ValueError):
+            ComplEx(10, 3, 0)
+
+
+class TestL2Regularisation:
+    def test_l2_adds_weight_decay_direction(self):
+        m = ComplEx(8, 3, 4, seed=0)
+        h, r, t = np.array([0]), np.array([0]), np.array([1])
+        zero_up = np.zeros(1, dtype=np.float32)
+        eg, rg = m.batch_gradients(h, r, t, zero_up, l2=0.5)
+        # With zero upstream the only gradient is 2 * l2 * embedding.
+        np.testing.assert_allclose(
+            eg.to_dense()[0], m.entity_emb[0], rtol=1e-5)
+        np.testing.assert_allclose(
+            rg.to_dense()[0], m.relation_emb[0], rtol=1e-5)
+
+    def test_no_l2_means_no_decay(self):
+        m = ComplEx(8, 3, 4, seed=0)
+        eg, _ = m.batch_gradients(np.array([0]), np.array([0]),
+                                  np.array([1]), np.zeros(1), l2=0.0)
+        np.testing.assert_allclose(eg.to_dense(), 0.0)
+
+
+class TestRotatESpecifics:
+    def _model(self):
+        from repro.models import RotatE
+        return RotatE(10, 4, 5, seed=1)
+
+    def test_relation_width_is_phases(self):
+        m = self._model()
+        assert m.relation_emb.shape == (4, 5)   # phases, not 2*dim
+        assert m.entity_emb.shape == (10, 10)   # complex storage
+
+    def test_scores_are_negative_moduli(self):
+        m = self._model()
+        s = m.score(np.array([0, 1]), np.array([0, 1]), np.array([2, 3]))
+        assert (s <= 0).all()
+
+    def test_perfect_rotation_scores_zero(self):
+        m = self._model()
+        # Make tail = head rotated by theta exactly.
+        h_re, h_im = m.entity_emb[0, :5], m.entity_emb[0, 5:]
+        theta = m.relation_emb[1]
+        t_re = h_re * np.cos(theta) - h_im * np.sin(theta)
+        t_im = h_re * np.sin(theta) + h_im * np.cos(theta)
+        m.entity_emb[7, :5] = t_re
+        m.entity_emb[7, 5:] = t_im
+        s = m.score(np.array([0]), np.array([1]), np.array([7]))
+        assert s[0] == pytest.approx(0.0, abs=1e-3)
+
+    def test_gradients_match_numerical(self):
+        m = self._model()
+        rng = np.random.default_rng(3)
+        h = rng.integers(0, 10, 4)
+        r = rng.integers(0, 4, 4)
+        t = rng.integers(0, 10, 4)
+        upstream = rng.normal(size=4).astype(np.float32)
+        g_h, g_r, g_t = m.score_grad(h, r, t, upstream)
+        eps = 1e-3
+
+        def objective():
+            return float(np.dot(upstream, m.score(h, r, t)))
+
+        for ex in range(4):
+            for coord in range(0, 5, 2):
+                orig = m.relation_emb[r[ex], coord]
+                m.relation_emb[r[ex], coord] = orig + eps
+                up = objective()
+                m.relation_emb[r[ex], coord] = orig - eps
+                dn = objective()
+                m.relation_emb[r[ex], coord] = orig
+                num = (up - dn) / (2 * eps)
+                analytic = sum(g_r[j, coord] for j in range(4)
+                               if r[j] == r[ex])
+                assert analytic == pytest.approx(num, abs=2e-2)
+
+    def test_all_tails_matches_pointwise(self):
+        m = self._model()
+        h = np.array([0, 3])
+        r = np.array([1, 2])
+        all_scores = m.score_all_tails(h, r)
+        for i in range(2):
+            for t in range(10):
+                expected = m.score(h[i:i + 1], r[i:i + 1], np.array([t]))[0]
+                assert all_scores[i, t] == pytest.approx(expected, abs=1e-4)
+
+    def test_all_heads_matches_pointwise(self):
+        m = self._model()
+        r = np.array([1, 2])
+        t = np.array([5, 8])
+        all_scores = m.score_all_heads(r, t)
+        for i in range(2):
+            for h in range(10):
+                expected = m.score(np.array([h]), r[i:i + 1], t[i:i + 1])[0]
+                assert all_scores[i, h] == pytest.approx(expected, abs=1e-4)
+
+    def test_registered(self):
+        from repro.models import make_model, RotatE
+        assert isinstance(make_model("rotate", 6, 2, 3), RotatE)

@@ -1,0 +1,125 @@
+"""Unit tests for the sparse-row Adam optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.comm.sparse import SparseRows
+from repro.models import ComplEx
+from repro.optim.adam import Adam, AdamState
+
+
+def dense_adam_reference(param, grads, lr, beta1=0.9, beta2=0.999, eps=1e-8):
+    """Textbook dense Adam, for comparison."""
+    m = np.zeros_like(param, dtype=np.float64)
+    v = np.zeros_like(param, dtype=np.float64)
+    p = param.astype(np.float64)
+    for t, g in enumerate(grads, start=1):
+        g = g.astype(np.float64)
+        m = beta1 * m + (1 - beta1) * g
+        v = beta2 * v + (1 - beta2) * g * g
+        m_hat = m / (1 - beta1 ** t)
+        v_hat = v / (1 - beta2 ** t)
+        p -= lr * m_hat / (np.sqrt(v_hat) + eps)
+    return p
+
+
+class TestAdamState:
+    def test_matches_dense_reference_when_all_rows_touched(self):
+        rng = np.random.default_rng(0)
+        param = rng.normal(size=(5, 3)).astype(np.float32)
+        grads = [rng.normal(size=(5, 3)).astype(np.float32) for _ in range(10)]
+        expected = dense_adam_reference(param.copy(), grads, lr=0.01)
+
+        state = AdamState((5, 3))
+        p = param.copy()
+        for g in grads:
+            state.apply_dense(p, g, lr=0.01)
+        np.testing.assert_allclose(p, expected, rtol=1e-4, atol=1e-6)
+
+    def test_untouched_rows_unchanged(self):
+        state = AdamState((5, 3))
+        p = np.ones((5, 3), dtype=np.float32)
+        grad = SparseRows(np.array([1, 3]),
+                          np.ones((2, 3), dtype=np.float32), 5)
+        state.apply_sparse(p, grad, lr=0.1)
+        np.testing.assert_allclose(p[0], 1.0)
+        np.testing.assert_allclose(p[2], 1.0)
+        assert (p[1] != 1.0).all()
+
+    def test_lazy_bias_correction_per_row(self):
+        """A row first touched late gets step-1 bias correction, so its
+        first update has the same magnitude as any other first update."""
+        state = AdamState((2, 1))
+        p = np.zeros((2, 1), dtype=np.float32)
+        g0 = SparseRows(np.array([0]), np.array([[1.0]], np.float32), 2)
+        for _ in range(5):
+            state.apply_sparse(p, g0, lr=0.1)
+        first_update_row0 = None
+        p_before = p.copy()
+        g1 = SparseRows(np.array([1]), np.array([[1.0]], np.float32), 2)
+        state.apply_sparse(p, g1, lr=0.1)
+        delta1 = abs(p[1, 0] - p_before[1, 0])
+        # A fresh AdamState's first update magnitude:
+        fresh = AdamState((1, 1))
+        q = np.zeros((1, 1), dtype=np.float32)
+        fresh.apply_sparse(q, SparseRows(np.array([0]),
+                                         np.array([[1.0]], np.float32), 1),
+                           lr=0.1)
+        assert delta1 == pytest.approx(abs(q[0, 0]), rel=1e-5)
+
+    def test_empty_gradient_is_noop(self):
+        state = AdamState((3, 2))
+        p = np.ones((3, 2), dtype=np.float32)
+        empty = SparseRows(np.array([], dtype=np.int64),
+                           np.empty((0, 2), np.float32), 3)
+        state.apply_sparse(p, empty, lr=0.1)
+        np.testing.assert_allclose(p, 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        state = AdamState((3, 2))
+        p = np.ones((3, 3), dtype=np.float32)
+        grad = SparseRows(np.array([0]), np.ones((1, 3), np.float32), 3)
+        with pytest.raises(ValueError):
+            state.apply_sparse(p, grad, lr=0.1)
+
+    def test_invalid_hyperparams_rejected(self):
+        with pytest.raises(ValueError):
+            AdamState((2, 2), beta1=1.0)
+        with pytest.raises(ValueError):
+            AdamState((2, 2), beta2=-0.1)
+        with pytest.raises(ValueError):
+            AdamState((2, 2), eps=0.0)
+
+    def test_converges_on_quadratic(self):
+        """Minimise ||x - target||^2 row-wise."""
+        target = np.array([[1.0, -2.0], [3.0, 0.5]], dtype=np.float32)
+        x = np.zeros((2, 2), dtype=np.float32)
+        state = AdamState((2, 2))
+        for _ in range(800):
+            g = 2 * (x - target)
+            state.apply_dense(x, g, lr=0.05)
+        np.testing.assert_allclose(x, target, atol=1e-2)
+
+
+class TestAdamWrapper:
+    def test_step_updates_both_matrices(self):
+        m = ComplEx(6, 3, 2, seed=0)
+        opt = Adam(m)
+        e0 = m.entity_emb.copy()
+        r0 = m.relation_emb.copy()
+        eg = SparseRows(np.array([1]), np.ones((1, 4), np.float32), 6)
+        rg = SparseRows(np.array([0]), np.ones((1, 4), np.float32), 3)
+        opt.step(eg, rg, lr=0.01)
+        assert not np.allclose(m.entity_emb[1], e0[1])
+        assert not np.allclose(m.relation_emb[0], r0[0])
+        np.testing.assert_allclose(m.entity_emb[0], e0[0])
+
+    def test_nonpositive_lr_rejected(self):
+        m = ComplEx(6, 3, 2, seed=0)
+        opt = Adam(m)
+        eg = SparseRows(np.array([], dtype=np.int64),
+                        np.empty((0, 4), np.float32), 6)
+        rg = SparseRows(np.array([], dtype=np.int64),
+                        np.empty((0, 4), np.float32), 3)
+        with pytest.raises(ValueError):
+            opt.step(eg, rg, lr=0.0)

@@ -1,0 +1,106 @@
+"""Unit tests for the paper's lr scaling rule and plateau scheduler."""
+
+import pytest
+
+from repro.optim.lr_schedule import PlateauScheduler, scaled_initial_lr
+
+
+class TestScaledInitialLr:
+    def test_linear_up_to_cap(self):
+        assert scaled_initial_lr(0.001, 1) == pytest.approx(0.001)
+        assert scaled_initial_lr(0.001, 2) == pytest.approx(0.002)
+        assert scaled_initial_lr(0.001, 4) == pytest.approx(0.004)
+
+    def test_capped_at_four_nodes(self):
+        """Paper Section 3.4: lr = lr * min(4, nodes)."""
+        assert scaled_initial_lr(0.001, 8) == pytest.approx(0.004)
+        assert scaled_initial_lr(0.001, 16) == pytest.approx(0.004)
+
+    def test_custom_cap(self):
+        assert scaled_initial_lr(0.001, 16, cap=8) == pytest.approx(0.008)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_initial_lr(0.0, 1)
+        with pytest.raises(ValueError):
+            scaled_initial_lr(0.001, 0)
+        with pytest.raises(ValueError):
+            scaled_initial_lr(0.001, 1, cap=0)
+
+
+class TestPlateauScheduler:
+    def test_improvement_keeps_lr(self):
+        s = PlateauScheduler(0.01, patience=3)
+        for metric in (0.1, 0.2, 0.3, 0.4):
+            assert s.step(metric) == pytest.approx(0.01)
+
+    def test_decays_after_patience(self):
+        s = PlateauScheduler(0.01, patience=3, factor=0.1)
+        s.step(0.5)
+        for _ in range(2):
+            assert s.step(0.5) == pytest.approx(0.01)
+        assert s.step(0.5) == pytest.approx(0.001)
+
+    def test_improvement_resets_counter(self):
+        s = PlateauScheduler(0.01, patience=3)
+        s.step(0.5)
+        s.step(0.5)
+        s.step(0.6)  # improvement just in time
+        s.step(0.6)
+        s.step(0.6)
+        assert s.lr == pytest.approx(0.01)
+        s.step(0.6)  # third bad epoch after the reset
+        assert s.lr == pytest.approx(0.001)
+
+    def test_min_delta_requires_real_improvement(self):
+        s = PlateauScheduler(0.01, patience=2, min_delta=0.05)
+        s.step(0.5)
+        s.step(0.51)  # below min_delta: counts as no improvement
+        s.step(0.52)
+        assert s.lr == pytest.approx(0.001)
+
+    def test_done_when_lr_would_drop_below_min(self):
+        s = PlateauScheduler(1e-4, patience=1, factor=0.1, min_lr=1e-4)
+        s.step(0.5)
+        s.step(0.5)
+        assert s.done
+        assert s.lr == pytest.approx(1e-4)  # never goes below min
+
+    def test_steps_after_done_are_noops(self):
+        s = PlateauScheduler(1e-4, patience=1, factor=0.1, min_lr=1e-4)
+        s.step(0.5)
+        s.step(0.5)
+        assert s.done
+        lr = s.step(10.0)
+        assert lr == pytest.approx(1e-4)
+        assert s.done
+
+    def test_paper_decay_chain_length(self):
+        """lr 1e-3 with factor 0.1 and floor 1e-5 allows exactly 2 decays."""
+        s = PlateauScheduler(1e-3, patience=1, factor=0.1, min_lr=1e-5)
+        decays = 0
+        for _ in range(10):
+            before = s.lr
+            s.step(0.0)
+            if s.lr < before:
+                decays += 1
+            if s.done:
+                break
+        assert decays == 2
+        assert s.done
+
+    def test_n_decays_counter(self):
+        s = PlateauScheduler(1e-2, patience=1, factor=0.5, min_lr=1e-3)
+        for _ in range(3):
+            s.step(0.0)
+        assert s.n_decays >= 2
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            PlateauScheduler(0.0)
+        with pytest.raises(ValueError):
+            PlateauScheduler(0.01, factor=1.0)
+        with pytest.raises(ValueError):
+            PlateauScheduler(0.01, patience=0)
+        with pytest.raises(ValueError):
+            PlateauScheduler(0.01, min_lr=0.0)

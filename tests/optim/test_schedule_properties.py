@@ -1,0 +1,64 @@
+"""Property-based tests for the plateau scheduler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optim.lr_schedule import PlateauScheduler
+
+
+@given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=120),
+       st.integers(1, 10), st.integers(0, 10))
+@settings(max_examples=60, deadline=None)
+def test_lr_is_monotone_nonincreasing(metrics, patience, warmup):
+    s = PlateauScheduler(1e-2, patience=patience, warmup=warmup)
+    last = s.lr
+    for m in metrics:
+        lr = s.step(m)
+        assert lr <= last + 1e-15
+        last = lr
+
+
+@given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=60),
+       st.integers(1, 5))
+@settings(max_examples=40, deadline=None)
+def test_lr_never_below_min(metrics, patience):
+    s = PlateauScheduler(1e-3, patience=patience, min_lr=1e-5)
+    for m in metrics:
+        assert s.step(m) >= 1e-5 - 1e-18
+
+
+@given(st.integers(1, 20), st.integers(1, 5))
+@settings(max_examples=40, deadline=None)
+def test_no_decay_during_warmup(warmup, patience):
+    """Flat metrics inside the warmup window never trigger a decay."""
+    s = PlateauScheduler(1e-2, patience=patience, warmup=warmup)
+    for _ in range(warmup):
+        s.step(0.0)
+    assert s.lr == 1e-2
+    assert not s.done
+
+
+@given(st.floats(0.01, 0.99), st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_strictly_improving_metric_never_decays(start, patience):
+    s = PlateauScheduler(1e-2, patience=patience)
+    metric = start
+    for _ in range(50):
+        metric += 0.01
+        s.step(metric)
+    assert s.lr == 1e-2
+    assert s.n_decays == 0
+
+
+@given(st.integers(1, 6))
+@settings(max_examples=20, deadline=None)
+def test_flat_metric_eventually_terminates(patience):
+    """A dead metric must reach `done` within a bounded number of epochs."""
+    s = PlateauScheduler(1e-3, patience=patience, factor=0.1, min_lr=1e-5)
+    s.step(0.5)
+    budget = patience * 5 + 5
+    for _ in range(budget):
+        if s.done:
+            break
+        s.step(0.5)
+    assert s.done

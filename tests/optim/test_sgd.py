@@ -1,0 +1,73 @@
+"""Unit tests for the SGD comparison optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.comm.sparse import SparseRows
+from repro.models import DistMult
+from repro.optim.sgd import SGD, SGDState
+
+
+class TestSGDState:
+    def test_plain_step_math(self):
+        state = SGDState((3, 2))
+        p = np.ones((3, 2), dtype=np.float32)
+        grad = SparseRows(np.array([1]),
+                          np.full((1, 2), 2.0, np.float32), 3)
+        state.apply_sparse(p, grad, lr=0.5)
+        np.testing.assert_allclose(p[1], 0.0)
+        np.testing.assert_allclose(p[0], 1.0)
+
+    def test_momentum_accumulates(self):
+        state = SGDState((1, 1), momentum=0.9)
+        p = np.zeros((1, 1), dtype=np.float32)
+        g = SparseRows(np.array([0]), np.array([[1.0]], np.float32), 1)
+        state.apply_sparse(p, g, lr=1.0)
+        first = p[0, 0]
+        state.apply_sparse(p, g, lr=1.0)
+        second = p[0, 0] - first
+        # Second step: buf = 0.9 * 1 + 1 = 1.9.
+        assert first == pytest.approx(-1.0)
+        assert second == pytest.approx(-1.9)
+
+    def test_invalid_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGDState((2, 2), momentum=1.0)
+
+    def test_shape_mismatch_rejected(self):
+        state = SGDState((3, 2))
+        with pytest.raises(ValueError):
+            state.apply_sparse(np.ones((3, 3), np.float32),
+                               SparseRows(np.array([0]),
+                                          np.ones((1, 3), np.float32), 3),
+                               lr=0.1)
+
+    def test_empty_grad_noop(self):
+        state = SGDState((3, 2), momentum=0.5)
+        p = np.ones((3, 2), dtype=np.float32)
+        empty = SparseRows(np.array([], dtype=np.int64),
+                           np.empty((0, 2), np.float32), 3)
+        state.apply_sparse(p, empty, lr=0.1)
+        np.testing.assert_allclose(p, 1.0)
+
+
+class TestSGDWrapper:
+    def test_step(self):
+        m = DistMult(5, 2, 3, seed=0)
+        opt = SGD(m)
+        before = m.entity_emb.copy()
+        eg = SparseRows(np.array([2]), np.ones((1, 3), np.float32), 5)
+        rg = SparseRows(np.array([], dtype=np.int64),
+                        np.empty((0, 3), np.float32), 2)
+        opt.step(eg, rg, lr=0.1)
+        np.testing.assert_allclose(m.entity_emb[2], before[2] - 0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        m = DistMult(5, 2, 3, seed=0)
+        opt = SGD(m)
+        eg = SparseRows(np.array([], dtype=np.int64),
+                        np.empty((0, 3), np.float32), 5)
+        rg = SparseRows(np.array([], dtype=np.int64),
+                        np.empty((0, 3), np.float32), 2)
+        with pytest.raises(ValueError):
+            opt.step(eg, rg, lr=-0.1)

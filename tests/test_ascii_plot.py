@@ -1,0 +1,55 @@
+"""Unit tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.bench.ascii_plot import line_chart, print_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        s = sparkline([1, 2, 3, 4])
+        assert len(s) == 4
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestLineChart:
+    def test_basic_rendering(self):
+        chart = line_chart({"a": [0, 1, 2, 3], "b": [3, 2, 1, 0]},
+                           xs=[1, 2, 4, 8], title="demo")
+        assert "demo" in chart
+        assert "*=a" in chart and "o=b" in chart
+        assert "3" in chart  # max label
+        lines = chart.splitlines()
+        assert len(lines) > 10
+
+    def test_constant_values_do_not_crash(self):
+        chart = line_chart({"flat": [1.0, 1.0, 1.0]})
+        assert "flat" in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1]})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2]}, width=2, height=2)
+
+    def test_xs_length_checked(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2, 3]}, xs=[1, 2])
+
+    def test_print_chart_outputs(self, capsys):
+        print_chart({"a": [1, 2, 3]}, title="t")
+        out = capsys.readouterr().out
+        assert "t" in out and "*=a" in out

@@ -1,0 +1,69 @@
+"""Unit tests for the Markdown report renderer."""
+
+import pytest
+
+from repro.bench.paper import PaperRow
+from repro.bench.report import (
+    comparison_line,
+    markdown_table,
+    results_table,
+    series_table,
+)
+from repro.training.metrics import TrainResult
+
+
+def result(nodes, tt_hours, epochs, tca, mrr):
+    r = TrainResult("m", nodes, epochs, tt_hours * 3600.0, mrr)
+    r.test_tca = tca
+    r.test_mrr = mrr
+    return r
+
+
+class TestMarkdownTable:
+    def test_shape(self):
+        md = markdown_table(["a", "b"], [[1, 2.5], [3, 0.001]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+        assert "2.500" in lines[2]
+        assert "1.00e-03" in lines[3]
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(ValueError):
+            markdown_table([], [])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a"], [[1, 2]])
+
+
+class TestResultsTable:
+    def test_without_paper(self):
+        md = results_table([result(1, 2.0, 10, 90.0, 0.5)])
+        assert "nodes" in md and "paper" not in md
+
+    def test_with_paper_reference(self):
+        md = results_table([result(1, 2.0, 10, 90.0, 0.5)],
+                           [PaperRow(1, 3.26, 301, 90.7, 0.59)])
+        assert "paper TT" in md
+        assert "3.260" in md
+
+    def test_misaligned_reference_rejected(self):
+        with pytest.raises(ValueError):
+            results_table([result(1, 2.0, 10, 90.0, 0.5)], [])
+
+
+class TestSeriesTable:
+    def test_columns(self):
+        md = series_table("nodes", [1, 2], {"a": [0.1, 0.2], "b": [1.0, 2.0]})
+        assert md.splitlines()[0] == "| nodes | a | b |"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            series_table("x", [1, 2], {"a": [0.1]})
+
+
+def test_comparison_line():
+    line = comparison_line("TT reduction", 0.42, 0.4495)
+    assert "measured 0.42" in line and "paper 0.45" in line

@@ -1,0 +1,64 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.kg.datasets import make_tiny_kg, save_store
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.dataset == "fb15k"
+        assert args.strategy == "allreduce"
+        assert args.nodes == 1
+
+    def test_strategy_choices_cover_presets(self):
+        from repro.training.strategy import PRESETS
+        parser = build_parser()
+        for preset in PRESETS:
+            args = parser.parse_args(["--strategy", preset])
+            assert args.strategy == preset
+
+    def test_unknown_strategy_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--strategy", "magic"])
+
+
+class TestMain:
+    def _args(self, tmp_path, extra=()):
+        store = make_tiny_kg()
+        path = str(tmp_path / "kg.npz")
+        save_store(store, path)
+        return ["--dataset-file", path, "--dim", "8", "--batch-size", "128",
+                "--max-epochs", "2", "--patience", "5", "--warmup", "0",
+                *extra]
+
+    def test_text_output(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, ["--nodes", "2"]))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TT_hours" in out
+        assert "MRR" in out
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, ["--json"]))
+        assert rc == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["method"] == "allreduce"
+        assert row["nodes"] == 1
+        assert "bytes_communicated" in row
+
+    def test_full_method_runs(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path,
+                             ["--strategy", "DRS+1-bit+RP+SS", "--nodes", "2",
+                              "--json"]))
+        assert rc == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["method"] == "DRS+1-bit+RP+SS"
+
+    def test_negatives_override(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, ["--negatives", "3", "--json"]))
+        assert rc == 0

@@ -1,0 +1,70 @@
+"""Unit tests for the EXPERIMENTS.md fill script."""
+
+import importlib.util
+import os
+
+SCRIPT = os.path.join(os.path.dirname(__file__), "..", "scripts",
+                      "fill_experiments.py")
+spec = importlib.util.spec_from_file_location("fill_experiments", SCRIPT)
+fill_experiments = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(fill_experiments)
+
+
+SAMPLE_LOG = """\
+=== Fig 2: non-zero gradient rows over training ===
+     epoch  nonzero rows
+         1       385.645
+.
+=== Fig 3: selection thresholds (FB15K, 2 nodes) ===
+        policy       TCA
+         dense    94.417
+F
+garbage trailing line
+"""
+
+
+class TestParseSections:
+    def test_titles_extracted(self):
+        sections = fill_experiments.parse_sections(SAMPLE_LOG)
+        assert "Fig 2: non-zero gradient rows over training" in sections
+        assert "Fig 3: selection thresholds (FB15K, 2 nodes)" in sections
+
+    def test_bodies_stop_at_test_outcome_markers(self):
+        sections = fill_experiments.parse_sections(SAMPLE_LOG)
+        body = sections["Fig 3: selection thresholds (FB15K, 2 nodes)"]
+        assert "94.417" in body
+        assert "garbage" not in body
+
+    def test_find_by_prefix(self):
+        sections = fill_experiments.parse_sections(SAMPLE_LOG)
+        found = fill_experiments.find_section(sections, "Fig 2:")
+        assert found.startswith("=== Fig 2")
+
+
+class TestFill:
+    def test_placeholder_replaced_with_code_block(self):
+        sections = fill_experiments.parse_sections(SAMPLE_LOG)
+        md, missing = fill_experiments.fill("before\nMEASURED_FIG2\nafter",
+                                            sections)
+        assert "```" in md
+        assert "385.645" in md
+        assert "MEASURED_FIG2" not in md
+
+    def test_missing_sections_reported(self):
+        md, missing = fill_experiments.fill("MEASURED_TABLE1", {})
+        assert missing
+        assert "not found" in md
+
+
+class TestPlaceholderConsistency:
+    def test_experiments_md_placeholders_covered(self):
+        """Every MEASURED_* placeholder in EXPERIMENTS.md (or already-filled
+        marker) must be known to the fill script."""
+        import re
+        md_path = os.path.join(os.path.dirname(__file__), "..",
+                               "EXPERIMENTS.md")
+        with open(md_path) as fh:
+            text = fh.read()
+        placeholders = set(re.findall(r"MEASURED_[A-Z0-9]+", text))
+        unknown = placeholders - set(fill_experiments.PLACEHOLDERS)
+        assert not unknown, f"fill script cannot handle: {unknown}"
