@@ -35,7 +35,13 @@ Subpackages
     Harness + paper reference values for every table and figure.
 """
 
-from .comm import Cluster, NetworkModel, SparseRows
+from .comm import (
+    Cluster,
+    CollectiveFaultError,
+    FaultPlan,
+    NetworkModel,
+    SparseRows,
+)
 from .config import DEFAULT_SEED, FB15K_SPEC, FB250K_SPEC
 from .eval import evaluate_classification, evaluate_ranking
 from .kg import (
@@ -73,12 +79,14 @@ __version__ = "1.0.0"
 __all__ = [
     "Adam",
     "Cluster",
+    "CollectiveFaultError",
     "ComplEx",
     "DEFAULT_SEED",
     "DistMult",
     "DistributedTrainer",
     "FB15K_SPEC",
     "FB250K_SPEC",
+    "FaultPlan",
     "NetworkModel",
     "PRESETS",
     "PlateauScheduler",

@@ -12,8 +12,10 @@ from .calibration import (
 )
 from .harness import (
     bench_store,
+    fault_summary_row,
     monotonically_decreasing,
     print_baseline_table,
+    print_fault_table,
     print_series,
     print_table,
     reduction,
@@ -30,10 +32,12 @@ __all__ = [
     "QUICK",
     "active_profile",
     "bench_store",
+    "fault_summary_row",
     "monotonically_decreasing",
     "paper",
     "report",
     "print_baseline_table",
+    "print_fault_table",
     "print_series",
     "print_table",
     "reduction",

@@ -13,6 +13,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from ..comm.faults import FaultPlan
 from ..comm.network import NetworkModel
 from ..kg.datasets import make_fb15k_like, make_fb250k_like
 from ..kg.triples import TripleStore
@@ -46,24 +47,28 @@ def bench_store(which: str, scale: float | None = None,
 
 def run_once(store: TripleStore, strategy: StrategyConfig, n_nodes: int,
              config: TrainConfig | None = None,
-             network: NetworkModel | None = None) -> TrainResult:
+             network: NetworkModel | None = None,
+             faults: FaultPlan | None = None) -> TrainResult:
     """Train one configuration, memoised on its full parameterisation."""
     config = config or train_config(active_profile())
     network = network or BENCH_NETWORK
     key = (id(store), strategy, n_nodes, tuple(sorted(vars(config).items())),
-           network)
+           network, faults)
     if key not in _RUN_CACHE:
         _RUN_CACHE[key] = DistributedTrainer(
-            store, strategy, n_nodes, config=config, network=network).run()
+            store, strategy, n_nodes, config=config, network=network,
+            faults=faults).run()
     return _RUN_CACHE[key]
 
 
 def sweep(store: TripleStore, strategies: dict[str, StrategyConfig],
           node_counts: list[int],
-          config: TrainConfig | None = None) -> dict[str, list[TrainResult]]:
+          config: TrainConfig | None = None,
+          faults: FaultPlan | None = None) -> dict[str, list[TrainResult]]:
     """Run every (strategy, node-count) cell; return results per strategy."""
     return {
-        name: [run_once(store, strat, p, config=config) for p in node_counts]
+        name: [run_once(store, strat, p, config=config, faults=faults)
+               for p in node_counts]
         for name, strat in strategies.items()
     }
 
@@ -116,6 +121,33 @@ def print_series(title: str, x_label: str, xs: list,
     rows = [[x] + [series[name][i] for name in series]
             for i, x in enumerate(xs)]
     print_table(title, header, rows)
+
+
+def fault_summary_row(result: TrainResult) -> dict:
+    """Chaos-relevant columns of one run: retries, skew, DRS switch epoch."""
+    return {
+        "method": result.strategy_label,
+        "nodes": result.n_nodes,
+        "retries": result.comm_retries,
+        "fallbacks": result.comm_fallbacks,
+        "straggler_skew": round(result.straggler_skew, 4),
+        "drs_switch_epoch": result.drs_switch_epoch,
+    }
+
+
+def print_fault_table(title: str, results: list[TrainResult]) -> None:
+    """Chaos report: one row per run, fault telemetry next to outcome."""
+    header = ["method", "nodes", "retries", "fallbacks", "skew",
+              "DRS switch", "TT(h)", "MRR"]
+    rows = []
+    for res in results:
+        row = fault_summary_row(res)
+        rows.append([row["method"], row["nodes"], row["retries"],
+                     row["fallbacks"], row["straggler_skew"],
+                     row["drs_switch_epoch"], res.total_hours, res.test_mrr])
+    print_table(title, header, rows,
+                widths=[max(len(r.strategy_label) for r in results) + 2,
+                        5, 8, 9, 8, 10, 10, 10])
 
 
 # ---------------------------------------------------------------------------

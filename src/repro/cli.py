@@ -11,6 +11,11 @@ Train the paper's full method on a simulated 4-node cluster::
 Compare against the baseline::
 
     python -m repro --dataset fb15k --scale 0.02 --strategy allreduce --nodes 4
+
+Run a chaos scenario (one 3x straggler, 5% message drop, dense fallback)::
+
+    python -m repro --strategy DRS+1-bit+RP+SS --nodes 4 \
+        --faults "straggler=2:3.0,drop=0.05,policy=fallback-dense"
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import json
 import sys
 
 from .bench.calibration import BENCH_NETWORK
+from .comm.faults import FaultPlan
 from .config import DEFAULT_SEED
 from .kg.datasets import load_store, make_fb15k_like, make_fb250k_like
 from .training.strategy import PRESETS
@@ -56,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--patience", type=int, default=6)
     parser.add_argument("--warmup", type=int, default=12)
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--faults", metavar="SPEC",
+                        help="chaos scenario, e.g. 'drop=0.05,corrupt=0.01,"
+                             "jitter=0.2,straggler=2:3.0,policy=fallback-dense'"
+                             " (see repro.comm.faults.FaultPlan.parse)")
     parser.add_argument("--json", action="store_true",
                         help="emit the summary as JSON instead of text")
     return parser
@@ -78,16 +88,25 @@ def main(argv: list[str] | None = None) -> int:
                          lr_warmup_epochs=args.warmup, seed=args.seed,
                          time_scale=2.0e5)
 
+    faults = FaultPlan.parse(args.faults) if args.faults else None
+
     if not args.json:
         print(f"dataset : {store.summary()}")
         print(f"strategy: {args.strategy} on {args.nodes} simulated node(s)")
+        if faults is not None:
+            print(f"faults  : {faults.describe()}")
     result = train(store, strategy, args.nodes, config=config,
-                   network=BENCH_NETWORK)
+                   network=BENCH_NETWORK, faults=faults)
 
     row = result.summary_row()
     row.update(converged=result.converged,
                bytes_communicated=result.bytes_total,
                allreduce_fraction=round(result.allreduce_fraction, 3))
+    if faults is not None:
+        row.update(comm_retries=result.comm_retries,
+                   comm_fallbacks=result.comm_fallbacks,
+                   straggler_skew=round(result.straggler_skew, 4),
+                   drs_switch_epoch=result.drs_switch_epoch)
     if args.json:
         json.dump(row, sys.stdout, indent=2)
         print()

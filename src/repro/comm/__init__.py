@@ -10,6 +10,13 @@ from .collectives import (
     allreduce_scalar,
     broadcast,
 )
+from .faults import (
+    FAULT_POLICIES,
+    CollectiveFaultError,
+    CollectiveGaveUp,
+    FaultInjector,
+    FaultPlan,
+)
 from .network import DEFAULT_NETWORK, NetworkModel
 from .payload import (
     compression_ratio,
@@ -26,9 +33,14 @@ __all__ = [
     "ALLGATHER_ALGOS",
     "ALLREDUCE_ALGOS",
     "Cluster",
+    "CollectiveFaultError",
+    "CollectiveGaveUp",
     "CommRecord",
     "CommStats",
     "ClusterTracer",
+    "FAULT_POLICIES",
+    "FaultInjector",
+    "FaultPlan",
     "HierarchicalNetwork",
     "TraceEvent",
     "DEFAULT_NETWORK",

@@ -15,11 +15,40 @@ from typing import Sequence
 
 import numpy as np
 
+from .faults import CollectiveGaveUp
 from .simulator import Cluster, CommRecord
 from .sparse import SparseRows, combine_sparse
 
 ALLREDUCE_ALGOS = ("ring", "recursive_doubling")
 ALLGATHER_ALGOS = ("ring", "bruck")
+
+
+def _charge(cluster: Cluster, op: str, nbytes_total: int, n_messages: int,
+            time: float) -> float:
+    """Consult the fault injector, then charge the collective; return time.
+
+    With faults active the charged time includes jitter and retransmission
+    cost, and the record carries the retry count.  If the injector gives up
+    under the ``fallback-dense`` policy, the time already burned on failed
+    attempts is charged as an ``*_aborted`` record before the
+    :class:`~repro.comm.faults.CollectiveGaveUp` signal propagates to the
+    caller (the trainer's degradation path).
+    """
+    retries = 0
+    if cluster.faults is not None:
+        try:
+            time, retries = cluster.faults.collective_time(
+                op, time, n_messages, cluster.network)
+        except CollectiveGaveUp as exc:
+            cluster.charge_collective(CommRecord(
+                op=f"{op}_aborted", nbytes_total=nbytes_total,
+                n_messages=n_messages, time=exc.time_charged,
+                retries=exc.retries))
+            raise
+    cluster.charge_collective(CommRecord(
+        op=op, nbytes_total=nbytes_total, n_messages=n_messages,
+        time=time, retries=retries))
+    return time
 
 
 def allreduce(cluster: Cluster, buffers: Sequence[np.ndarray],
@@ -49,9 +78,7 @@ def allreduce(cluster: Cluster, buffers: Sequence[np.ndarray],
     else:
         raise ValueError(f"unknown allreduce algorithm {algo!r}; "
                          f"choose from {ALLREDUCE_ALGOS}")
-    cluster.charge_collective(CommRecord(
-        op=f"allreduce_{algo}", nbytes_total=nbytes,
-        n_messages=n_messages, time=time))
+    _charge(cluster, f"allreduce_{algo}", nbytes, n_messages, time)
     return result
 
 
@@ -75,10 +102,8 @@ def allreduce_bytes(cluster: Cluster, nbytes: int, algo: str = "ring",
     else:
         raise ValueError(f"unknown allreduce algorithm {algo!r}; "
                          f"choose from {ALLREDUCE_ALGOS}")
-    cluster.charge_collective(CommRecord(
-        op=f"{op_label}_{algo}", nbytes_total=int(nbytes),
-        n_messages=n_messages, time=time))
-    return time
+    return _charge(cluster, f"{op_label}_{algo}", int(nbytes), n_messages,
+                   time)
 
 
 def allgatherv_bytes(cluster: Cluster, block_bytes: Sequence[int],
@@ -103,10 +128,8 @@ def allgatherv_bytes(cluster: Cluster, block_bytes: Sequence[int],
     else:
         raise ValueError(f"unknown allgather algorithm {algo!r}; "
                          f"choose from {ALLGATHER_ALGOS}")
-    cluster.charge_collective(CommRecord(
-        op=f"{op_label}_{algo}", nbytes_total=int(sum(blocks)),
-        n_messages=n_messages, time=time))
-    return time
+    return _charge(cluster, f"{op_label}_{algo}", int(sum(blocks)),
+                   n_messages, time)
 
 
 def allgather_sparse(cluster: Cluster, parts: Sequence[SparseRows],
@@ -141,9 +164,7 @@ def broadcast(cluster: Cluster, value: np.ndarray, root: int = 0) -> np.ndarray:
     value = np.asarray(value)
     time = cluster.network.broadcast_time(int(value.nbytes), cluster.n_ranks)
     rounds = max(0, int(np.ceil(np.log2(cluster.n_ranks)))) if cluster.n_ranks > 1 else 0
-    cluster.charge_collective(CommRecord(
-        op="broadcast", nbytes_total=int(value.nbytes),
-        n_messages=rounds, time=time))
+    _charge(cluster, "broadcast", int(value.nbytes), rounds, time)
     return value
 
 
@@ -163,9 +184,7 @@ def allreduce_scalar(cluster: Cluster, values: Sequence[float],
     p = cluster.n_ranks
     time = cluster.network.allreduce_recursive_doubling_time(8, p)
     n_messages = max(0, int(np.ceil(np.log2(p)))) if p > 1 else 0
-    cluster.charge_collective(CommRecord(
-        op=f"allreduce_scalar_{op}", nbytes_total=8,
-        n_messages=n_messages, time=time))
+    _charge(cluster, f"allreduce_scalar_{op}", 8, n_messages, time)
     return result
 
 

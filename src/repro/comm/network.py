@@ -61,6 +61,18 @@ class NetworkModel:
             raise ValueError("flops must be non-negative")
         return flops / self.node_flops
 
+    def split_time(self, time: float, n_messages: int) -> tuple[float, float]:
+        """Split a collective's modeled time into (latency, bandwidth) parts.
+
+        The latency part is ``n_messages * alpha`` clamped to ``time``; the
+        remainder is attributed to bandwidth.  Used by the fault injector to
+        jitter the two components independently.
+        """
+        if time < 0 or n_messages < 0:
+            raise ValueError("time and n_messages must be non-negative")
+        latency = min(time, n_messages * self.alpha)
+        return latency, time - latency
+
     # ------------------------------------------------------------------
     # Collective cost formulas (algorithm-aware).  ``p`` is the number of
     # ranks, ``nbytes`` the *per-rank* payload unless stated otherwise.

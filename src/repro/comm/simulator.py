@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .faults import FaultInjector, FaultPlan
 from .network import DEFAULT_NETWORK, NetworkModel
 
 
@@ -31,6 +32,8 @@ class CommRecord:
     nbytes_total: int
     n_messages: int
     time: float
+    #: Message retransmissions charged into ``time`` (0 without faults).
+    retries: int = 0
 
 
 @dataclass
@@ -40,12 +43,14 @@ class CommStats:
     calls: int = 0
     nbytes_total: int = 0
     time_total: float = 0.0
+    retries: int = 0
     by_op: dict = field(default_factory=dict)
 
     def add(self, record: CommRecord) -> None:
         self.calls += 1
         self.nbytes_total += record.nbytes_total
         self.time_total += record.time
+        self.retries += record.retries
         per_op = self.by_op.setdefault(record.op, [0, 0, 0.0])
         per_op[0] += 1
         per_op[1] += record.nbytes_total
@@ -61,31 +66,54 @@ class Cluster:
         Number of simulated nodes (the paper scales 1..16).
     network:
         Cost model used to charge time for collectives and compute.
+    faults:
+        Optional :class:`~repro.comm.faults.FaultPlan`.  A null plan (all
+        knobs at defaults) is ignored entirely, so passing one is
+        byte-identical to passing ``None``.
     """
 
-    def __init__(self, n_ranks: int, network: NetworkModel = DEFAULT_NETWORK):
+    def __init__(self, n_ranks: int, network: NetworkModel = DEFAULT_NETWORK,
+                 faults: FaultPlan | None = None):
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
         self.n_ranks = n_ranks
         self.network = network
+        self.faults: FaultInjector | None = (
+            FaultInjector(faults, n_ranks)
+            if faults is not None and not faults.is_null else None)
         self.clocks = np.zeros(n_ranks, dtype=np.float64)
+        #: Per-rank idle seconds spent waiting at collective entry barriers;
+        #: under heterogeneity the fast ranks accumulate the stragglers' lag.
+        self.wait_total = np.zeros(n_ranks, dtype=np.float64)
         self.records: list[CommRecord] = []
         self.stats = CommStats()
 
     # -- time accounting ------------------------------------------------
 
     def advance_compute(self, rank: int, seconds: float) -> None:
-        """Charge ``seconds`` of local compute to one rank's clock."""
+        """Charge ``seconds`` of local compute to one rank's clock.
+
+        With a fault plan attached, the rank's straggler multiplier scales
+        the charge (heterogeneous compute speeds).
+        """
         self._check_rank(rank)
         if seconds < 0:
             raise ValueError(f"seconds must be >= 0, got {seconds}")
+        if self.faults is not None:
+            seconds *= self.faults.compute_scale(rank)
         self.clocks[rank] += seconds
 
     def advance_compute_all(self, seconds: float) -> None:
-        """Charge identical local compute to every rank (perfectly balanced)."""
+        """Charge identical local compute to every rank (perfectly balanced).
+
+        Straggler multipliers still apply per rank when faults are active.
+        """
         if seconds < 0:
             raise ValueError(f"seconds must be >= 0, got {seconds}")
-        self.clocks += seconds
+        if self.faults is not None:
+            self.clocks += seconds * self.faults.scales
+        else:
+            self.clocks += seconds
 
     def charge_collective(self, record: CommRecord) -> None:
         """Synchronise all ranks, then charge the collective's time.
@@ -95,22 +123,37 @@ class Cluster:
         collective's modeled duration.
         """
         sync_point = float(self.clocks.max())
+        self.wait_total += sync_point - self.clocks
         self.clocks[:] = sync_point + record.time
         self.records.append(record)
         self.stats.add(record)
 
     def barrier(self) -> None:
         """Synchronise clocks without charging communication time."""
-        self.clocks[:] = self.clocks.max()
+        sync_point = self.clocks.max()
+        self.wait_total += sync_point - self.clocks
+        self.clocks[:] = sync_point
 
     @property
     def elapsed(self) -> float:
         """Virtual seconds since cluster creation (slowest rank's clock)."""
         return float(self.clocks.max())
 
+    @property
+    def straggler_skew(self) -> float:
+        """Fraction of the run the most-idle rank spent waiting at barriers.
+
+        0 on a perfectly balanced cluster; approaches ``1 - 1/factor`` when
+        one rank is a ``factor``-times straggler and compute dominates.
+        """
+        if self.elapsed <= 0.0:
+            return 0.0
+        return float(self.wait_total.max()) / self.elapsed
+
     def reset_clocks(self) -> None:
         """Zero all clocks and drop records (stats are kept)."""
         self.clocks[:] = 0.0
+        self.wait_total[:] = 0.0
         self.records.clear()
 
     def _check_rank(self, rank: int) -> None:

@@ -51,11 +51,13 @@ class ClusterTracer:
         def charge(record: CommRecord):
             start = float(self.cluster.clocks.max())
             self._orig_charge(record)
+            args = {"bytes": record.nbytes_total,
+                    "messages": record.n_messages}
+            if record.retries:
+                args["retries"] = record.retries
             self.events.append(TraceEvent(
                 name=record.op, start=start, duration=record.time, rank=-1,
-                category="comm",
-                args={"bytes": record.nbytes_total,
-                      "messages": record.n_messages}))
+                category="comm", args=args))
 
         def advance(rank: int, seconds: float):
             start = float(self.cluster.clocks[rank])

@@ -41,6 +41,14 @@ class TrainResult:
     allgather_steps: int = 0
     bytes_total: int = 0
     converged: bool = False
+    #: Message retransmissions charged by the fault injector (0 = no faults).
+    comm_retries: int = 0
+    #: Collectives that gave up and were re-sent via the dense fallback.
+    comm_fallbacks: int = 0
+    #: Fraction of the run the most-idle rank spent waiting at barriers.
+    straggler_skew: float = 0.0
+    #: Epoch at which DRS committed its allgather switch (0 = never).
+    drs_switch_epoch: int = 0
 
     @property
     def total_hours(self) -> float:

@@ -62,6 +62,12 @@ class StrategyConfig:
         (extension; the paper cites but does not adopt it).
     drs_probe_interval:
         Probe allgather every k-th epoch (k = 10 in the paper).
+    drs_switch_margin:
+        A DRS probe only commits the switch when its comm time is below
+        ``margin * last allreduce comm time``.  1.0 (default) reproduces
+        the paper's strict comparison; values < 1 add hysteresis so
+        network jitter (see :mod:`repro.comm.faults`) cannot flip the
+        switch on a lucky probe.
     allreduce_algo / allgather_algo:
         Collective algorithm (ablation knob).
     """
@@ -81,6 +87,7 @@ class StrategyConfig:
     #: gradients (Section 2).  Mutually exclusive with quantization.
     factorization_rank: int = 0
     drs_probe_interval: int = PAPER_DRS_PROBE_INTERVAL
+    drs_switch_margin: float = 1.0
     allreduce_algo: str = "ring"
     allgather_algo: str = "ring"
 
@@ -108,6 +115,9 @@ class StrategyConfig:
                 "baseline; disable sample_selection instead")
         if self.drs_probe_interval < 1:
             raise ValueError("drs_probe_interval must be >= 1")
+        if self.drs_switch_margin <= 0:
+            raise ValueError(
+                f"drs_switch_margin must be > 0, got {self.drs_switch_margin}")
         if self.factorization_rank < 0:
             raise ValueError("factorization_rank must be >= 0")
         if self.factorization_rank and self.quantization_bits:

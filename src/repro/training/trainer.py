@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..comm import collectives
+from ..comm.faults import CollectiveGaveUp, FaultPlan
 from ..comm.network import DEFAULT_NETWORK, NetworkModel
 from ..comm.payload import dense_bytes
 from ..comm.simulator import Cluster
@@ -102,6 +103,9 @@ class _DrsState:
     switched: bool = False
     last_allreduce_comm: float = float("inf")
     probes: int = 0
+    #: Probe must beat margin * last allreduce comm to commit the switch
+    #: (1.0 = paper's strict comparison; < 1 is hysteresis against jitter).
+    switch_margin: float = 1.0
 
     def mode_for_epoch(self, epoch: int, probe_interval: int) -> str:
         if self.switched:
@@ -117,7 +121,7 @@ class _DrsState:
             self.last_allreduce_comm = comm_time
         else:  # probe epoch result
             self.probes += 1
-            if comm_time < self.last_allreduce_comm:
+            if comm_time < self.switch_margin * self.last_allreduce_comm:
                 self.switched = True
 
 
@@ -126,7 +130,8 @@ class DistributedTrainer:
 
     def __init__(self, store: TripleStore, strategy: StrategyConfig,
                  n_nodes: int, config: TrainConfig | None = None,
-                 network: NetworkModel | None = None):
+                 network: NetworkModel | None = None,
+                 faults: FaultPlan | None = None):
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
         self.store = store
@@ -134,7 +139,9 @@ class DistributedTrainer:
         self.n_nodes = n_nodes
         self.config = config or TrainConfig()
         self.network = network or DEFAULT_NETWORK
-        self.cluster = Cluster(n_nodes, self.network)
+        self.faults = faults
+        self.cluster = Cluster(n_nodes, self.network, faults=faults)
+        self._fallbacks = 0
 
         cfg = self.config
         self.model = make_model(cfg.model_name, store.n_entities,
@@ -171,7 +178,7 @@ class DistributedTrainer:
                                           factor=cfg.lr_factor,
                                           min_lr=cfg.min_lr,
                                           warmup=cfg.lr_warmup_epochs)
-        self._drs = _DrsState()
+        self._drs = _DrsState(switch_margin=strategy.drs_switch_margin)
         # Equal batches per worker (paper Section 3.3): the step count is
         # set by the *average* shard so mildly imbalanced partitions (e.g.
         # relation partition at small scales) do not inflate the epoch.
@@ -221,15 +228,47 @@ class DistributedTrainer:
             return grads[0], 0.0
 
         if mode == "allreduce":
-            width = (self._entity_width
-                     if matrix_rows == self.store.n_entities
-                     else self._relation_width)
-            collectives.allreduce_bytes(
-                self.cluster, dense_bytes(matrix_rows, width),
-                algo=strategy.allreduce_algo)
+            try:
+                width = (self._entity_width
+                         if matrix_rows == self.store.n_entities
+                         else self._relation_width)
+                collectives.allreduce_bytes(
+                    self.cluster, dense_bytes(matrix_rows, width),
+                    algo=strategy.allreduce_algo)
+            except CollectiveGaveUp:
+                self._dense_fallback(matrix_rows)
             return combine_sparse(grads), 0.0
 
-        # --- allgather path ---
+        try:
+            return self._communicate_allgather(grads, residuals)
+        except CollectiveGaveUp:
+            # fallback-dense policy: the compressed gather could not be
+            # delivered; resend the step's update as a reliable (and
+            # lossless) dense allreduce instead.
+            self._dense_fallback(matrix_rows)
+            return combine_sparse(grads), 0.0
+
+    def _dense_fallback(self, matrix_rows: int) -> None:
+        """Resend one step's update as a reliable dense allreduce.
+
+        Engaged by the ``fallback-dense`` degradation policy after a
+        collective exhausted its retry budget (the aborted attempt's time
+        is already on the clocks).  The fallback itself runs with
+        unbounded retries so it cannot abort recursively.
+        """
+        width = (self._entity_width if matrix_rows == self.store.n_entities
+                 else self._relation_width)
+        with self.cluster.faults.reliable():
+            collectives.allreduce_bytes(
+                self.cluster, dense_bytes(matrix_rows, width),
+                algo=self.strategy.allreduce_algo, op_label="fallback_dense")
+        self._fallbacks += 1
+
+    def _communicate_allgather(self, grads: list[SparseRows],
+                               residuals: list[ResidualStore] | None
+                               ) -> tuple[SparseRows, float]:
+        """The lossy allgather path of :meth:`_communicate`."""
+        strategy = self.strategy
         dropped = kept = 0
         processed: list[SparseRows] = []
         for rank, grad in enumerate(grads):
@@ -387,6 +426,8 @@ class DistributedTrainer:
             self.scheduler.step(val_mrr)
             if strategy.comm_mode == "dynamic":
                 self._drs.observe(mode, comm_time)
+                if self._drs.switched and result.drs_switch_epoch == 0:
+                    result.drs_switch_epoch = epoch
 
             result.logs.append(EpochLog(
                 epoch=epoch, loss=epoch_loss / self.steps_per_epoch,
@@ -406,6 +447,9 @@ class DistributedTrainer:
         result.total_time = self.cluster.elapsed * cfg.time_scale
         result.final_val_mrr = result.logs[-1].val_mrr if result.logs else float("nan")
         result.bytes_total = self.cluster.stats.nbytes_total
+        result.comm_retries = self.cluster.stats.retries
+        result.comm_fallbacks = self._fallbacks
+        result.straggler_skew = self.cluster.straggler_skew
 
         test = evaluate_ranking(self.model, self.store.test, self.store,
                                 batch_size=cfg.eval_batch_size)
@@ -421,7 +465,8 @@ class DistributedTrainer:
 
 def train(store: TripleStore, strategy: StrategyConfig, n_nodes: int = 1,
           config: TrainConfig | None = None,
-          network: NetworkModel | None = None) -> TrainResult:
+          network: NetworkModel | None = None,
+          faults: FaultPlan | None = None) -> TrainResult:
     """Convenience one-call API: build a trainer and run it."""
     return DistributedTrainer(store, strategy, n_nodes, config=config,
-                              network=network).run()
+                              network=network, faults=faults).run()

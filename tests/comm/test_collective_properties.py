@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.comm.collectives import allgather_sparse, allreduce
+from repro.comm.faults import FaultPlan
 from repro.comm.network import NetworkModel
 from repro.comm.simulator import Cluster
 from repro.comm.sparse import SparseRows
@@ -79,3 +80,64 @@ def test_allgather_sparse_equals_dense_sum(p, n_rows, dim, seed):
                        for part in parts], axis=0)
     np.testing.assert_allclose(combined.to_dense(), expected,
                                rtol=1e-5, atol=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# Collective equivalence: the algorithm choice (and any injected faults)
+# may change the charged time, never the delivered data.
+# ---------------------------------------------------------------------------
+
+_FAULT_CASES = (None, FaultPlan(drop_prob=0.3, corruption_prob=0.1,
+                                alpha_jitter=0.2, seed=123))
+
+
+@given(st.integers(2, 6), st.integers(1, 8), st.integers(1, 4),
+       st.integers(0, 1000), st.sampled_from(_FAULT_CASES))
+@settings(max_examples=40, deadline=None)
+def test_allreduce_ring_equals_recursive_doubling(p, n_rows, dim, seed,
+                                                  faults):
+    rng = np.random.default_rng(seed)
+    buffers = [rng.normal(size=(n_rows, dim)).astype(np.float32)
+               for _ in range(p)]
+    outs = {}
+    for algo in ("ring", "recursive_doubling"):
+        cluster = Cluster(p, faults=faults)
+        outs[algo] = allreduce(cluster, buffers, algo=algo)
+    np.testing.assert_array_equal(outs["ring"], outs["recursive_doubling"])
+
+
+@given(st.integers(2, 6), st.integers(4, 12), st.integers(1, 3),
+       st.integers(0, 1000), st.sampled_from(_FAULT_CASES))
+@settings(max_examples=40, deadline=None)
+def test_allgather_ring_equals_bruck(p, n_rows, dim, seed, faults):
+    rng = np.random.default_rng(seed)
+    parts = []
+    for _ in range(p):
+        nnz = rng.integers(0, n_rows + 1)
+        idx = np.sort(rng.choice(n_rows, size=nnz, replace=False))
+        parts.append(SparseRows(idx, rng.normal(size=(nnz, dim))
+                                .astype(np.float32), n_rows))
+    outs = {}
+    for algo in ("ring", "bruck"):
+        cluster = Cluster(p, faults=faults)
+        outs[algo] = allgather_sparse(cluster, parts, algo=algo)
+    np.testing.assert_array_equal(outs["ring"].to_dense(),
+                                  outs["bruck"].to_dense())
+    np.testing.assert_array_equal(outs["ring"].indices,
+                                  outs["bruck"].indices)
+
+
+@given(st.integers(2, 6), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_faults_change_time_not_data(p, seed):
+    """Under drops the charged time strictly grows once a retry happens,
+    but the reduced value stays bitwise equal to the fault-free one."""
+    rng = np.random.default_rng(seed)
+    buffers = [rng.normal(size=(8, 4)).astype(np.float32) for _ in range(p)]
+    clean = Cluster(p)
+    faulty = Cluster(p, faults=FaultPlan(drop_prob=0.5, seed=seed))
+    out_clean = allreduce(clean, buffers)
+    out_faulty = allreduce(faulty, buffers)
+    np.testing.assert_array_equal(out_clean, out_faulty)
+    if faulty.stats.retries > 0:
+        assert faulty.elapsed > clean.elapsed

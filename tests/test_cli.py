@@ -62,3 +62,30 @@ class TestMain:
     def test_negatives_override(self, tmp_path, capsys):
         rc = main(self._args(tmp_path, ["--negatives", "3", "--json"]))
         assert rc == 0
+
+    def test_faults_knob_reports_chaos_telemetry(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, [
+            "--nodes", "4", "--json", "--faults",
+            "straggler=1:3.0,drop=0.2,policy=fallback-dense,seed=5"]))
+        assert rc == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["comm_retries"] > 0
+        assert row["straggler_skew"] > 0
+        assert "comm_fallbacks" in row and "drs_switch_epoch" in row
+
+    def test_faults_text_output_describes_plan(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path,
+                             ["--nodes", "2", "--faults", "drop=0.1"]))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults" in out and "drop=0.1" in out
+
+    def test_no_faults_keeps_row_shape(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, ["--json"]))
+        assert rc == 0
+        row = json.loads(capsys.readouterr().out)
+        assert "comm_retries" not in row
+
+    def test_bad_faults_spec_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            main(self._args(tmp_path, ["--faults", "frobnicate=1"]))
