@@ -12,9 +12,11 @@ from .calibration import (
 )
 from .harness import (
     bench_store,
+    eval_summary_row,
     fault_summary_row,
     monotonically_decreasing,
     print_baseline_table,
+    print_eval_table,
     print_fault_table,
     print_series,
     print_table,
@@ -32,11 +34,13 @@ __all__ = [
     "QUICK",
     "active_profile",
     "bench_store",
+    "eval_summary_row",
     "fault_summary_row",
     "monotonically_decreasing",
     "paper",
     "report",
     "print_baseline_table",
+    "print_eval_table",
     "print_fault_table",
     "print_series",
     "print_table",

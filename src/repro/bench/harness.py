@@ -135,6 +135,30 @@ def fault_summary_row(result: TrainResult) -> dict:
     }
 
 
+def eval_summary_row(result: TrainResult) -> dict:
+    """Eval-performance columns of one run: wall seconds and throughput."""
+    return {
+        "method": result.strategy_label,
+        "nodes": result.n_nodes,
+        "eval_seconds": round(result.eval_seconds, 3),
+        "eval_queries": result.eval_queries,
+        "queries_per_sec": round(result.eval_queries_per_sec, 1),
+    }
+
+
+def print_eval_table(title: str, results: list[TrainResult]) -> None:
+    """Eval throughput report: measured ranking queries/sec per run."""
+    header = ["method", "nodes", "eval(s)", "queries", "q/s"]
+    rows = []
+    for res in results:
+        row = eval_summary_row(res)
+        rows.append([row["method"], row["nodes"], row["eval_seconds"],
+                     row["eval_queries"], row["queries_per_sec"]])
+    print_table(title, header, rows,
+                widths=[max(len(r.strategy_label) for r in results) + 2,
+                        5, 10, 9, 10])
+
+
 def print_fault_table(title: str, results: list[TrainResult]) -> None:
     """Chaos report: one row per run, fault telemetry next to outcome."""
     header = ["method", "nodes", "retries", "fallbacks", "skew",

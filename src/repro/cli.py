@@ -26,6 +26,7 @@ import sys
 
 from .bench.calibration import BENCH_NETWORK
 from .comm.faults import FaultPlan
+from .eval.ranking import FILTER_IMPLS
 from .config import DEFAULT_SEED
 from .kg.datasets import load_store, make_fb15k_like, make_fb250k_like
 from .training.strategy import PRESETS
@@ -62,6 +63,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--patience", type=int, default=6)
     parser.add_argument("--warmup", type=int, default=12)
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--filter-impl", choices=sorted(FILTER_IMPLS),
+                        default="csr",
+                        help="filtered-MRR filter implementation: 'csr' uses "
+                             "the precomputed FilterIndex, 'naive' rebuilds "
+                             "the known mask per batch (default: csr)")
+    parser.add_argument("--eval-chunk-entities", type=int, default=None,
+                        metavar="N",
+                        help="score at most N candidate entities at a time "
+                             "during evaluation (bounds peak memory; "
+                             "default: unchunked)")
     parser.add_argument("--faults", metavar="SPEC",
                         help="chaos scenario, e.g. 'drop=0.05,corrupt=0.01,"
                              "jitter=0.2,straggler=2:3.0,policy=fallback-dense'"
@@ -86,6 +97,8 @@ def main(argv: list[str] | None = None) -> int:
                          base_lr=args.lr, max_epochs=args.max_epochs,
                          lr_patience=args.patience,
                          lr_warmup_epochs=args.warmup, seed=args.seed,
+                         eval_filter_impl=args.filter_impl,
+                         eval_chunk_entities=args.eval_chunk_entities,
                          time_scale=2.0e5)
 
     faults = FaultPlan.parse(args.faults) if args.faults else None
@@ -101,7 +114,9 @@ def main(argv: list[str] | None = None) -> int:
     row = result.summary_row()
     row.update(converged=result.converged,
                bytes_communicated=result.bytes_total,
-               allreduce_fraction=round(result.allreduce_fraction, 3))
+               allreduce_fraction=round(result.allreduce_fraction, 3),
+               eval_seconds=round(result.eval_seconds, 3),
+               eval_queries_per_sec=round(result.eval_queries_per_sec, 1))
     if faults is not None:
         row.update(comm_retries=result.comm_retries,
                    comm_fallbacks=result.comm_fallbacks,

@@ -39,14 +39,22 @@ class ClusterTracer:
         self.events: list[TraceEvent] = []
         self._orig_charge = None
         self._orig_advance = None
+        self._orig_advance_all = None
 
     # -- lifecycle -------------------------------------------------------
 
     def attach(self) -> "ClusterTracer":
         if self._orig_charge is not None:
             raise RuntimeError("tracer already attached")
+        if getattr(self.cluster, "_tracer", None) is not None:
+            # A stale patch (e.g. a raising run traced without a context
+            # manager) must not become the next tracer's "original":
+            # detaching would then restore the stale patch permanently.
+            raise RuntimeError(
+                "cluster is already traced; detach the previous tracer first")
         self._orig_charge = self.cluster.charge_collective
         self._orig_advance = self.cluster.advance_compute
+        self._orig_advance_all = self.cluster.advance_compute_all
 
         def charge(record: CommRecord):
             start = float(self.cluster.clocks.max())
@@ -62,27 +70,62 @@ class ClusterTracer:
         def advance(rank: int, seconds: float):
             start = float(self.cluster.clocks[rank])
             self._orig_advance(rank, seconds)
+            # Record the charged duration (straggler multipliers included),
+            # not the requested one — spans must tile the clock timeline.
             self.events.append(TraceEvent(
-                name="compute", start=start, duration=seconds, rank=rank,
-                category="compute"))
+                name="compute",
+                start=start,
+                duration=float(self.cluster.clocks[rank]) - start,
+                rank=rank, category="compute"))
 
-        self.cluster.charge_collective = charge  # type: ignore[assignment]
-        self.cluster.advance_compute = advance   # type: ignore[assignment]
+        def advance_all(seconds: float):
+            starts = self.cluster.clocks.copy()
+            self._orig_advance_all(seconds)
+            for rank in range(self.cluster.n_ranks):
+                self.events.append(TraceEvent(
+                    name="compute",
+                    start=float(starts[rank]),
+                    duration=float(self.cluster.clocks[rank] - starts[rank]),
+                    rank=rank, category="compute"))
+
+        try:
+            self.cluster.charge_collective = charge       # type: ignore
+            self.cluster.advance_compute = advance        # type: ignore
+            self.cluster.advance_compute_all = advance_all  # type: ignore
+            self.cluster._tracer = self                   # type: ignore
+        except BaseException:
+            self.detach()
+            raise
         return self
 
     def detach(self) -> None:
+        """Restore the cluster's original methods; safe to call twice."""
         if self._orig_charge is None:
             return
-        self.cluster.charge_collective = self._orig_charge  # type: ignore
-        self.cluster.advance_compute = self._orig_advance   # type: ignore
+        # Drop the instance-level patches so the class methods show through
+        # again (assigning the saved bound methods would leave permanent
+        # instance attributes shadowing the class).
+        for name in ("charge_collective", "advance_compute",
+                     "advance_compute_all"):
+            self.cluster.__dict__.pop(name, None)
+        self.cluster._tracer = None                         # type: ignore
         self._orig_charge = None
         self._orig_advance = None
+        self._orig_advance_all = None
 
     def __enter__(self) -> "ClusterTracer":
         return self.attach()
 
     def __exit__(self, *exc) -> None:
         self.detach()
+
+    def trace(self, fn, *args, **kwargs):
+        """Run ``fn`` with the tracer attached; detach even if it raises."""
+        self.attach()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            self.detach()
 
     # -- queries ---------------------------------------------------------
 

@@ -64,14 +64,19 @@ class QuantizedRows:
 
 
 def _split_scales(values: np.ndarray, stat: str) -> np.ndarray:
-    """Compute the per-row scale column(s) for a 1-bit statistic."""
+    """Compute the per-row scale column(s) for a 1-bit statistic.
+
+    Exactly-zero elements belong to *neither* sign class: counting them as
+    positives (the old ``pos = ~neg`` convention) diluted the ``posavg``
+    scale and made zeros dequantize as ``+scale``.
+    """
     absv = np.abs(values)
     if stat == "max":
         return absv.max(axis=1, keepdims=True)
     if stat == "avg":
         return absv.mean(axis=1, keepdims=True)
     neg = values < 0
-    pos = ~neg
+    pos = values > 0
     out = np.zeros((len(values), 2), dtype=np.float64)
     if stat in ("negmax", "posmax"):
         # Row scale for elements of each sign, max over that sign's entries.
@@ -93,17 +98,30 @@ def quantize_1bit(grad: SparseRows, stat: str = "max") -> QuantizedRows:
     """1-bit quantization: one sign bit per element plus per-row scale(s).
 
     The paper's chosen scheme is ``stat='max'``: ``sign(v) * max(|v|)``.
+
+    Sign convention for exact zeros: a single bit cannot encode a third
+    value, but under the split statistics each zero is assigned to the sign
+    class with the *smaller* scale — so whenever a row's positive or
+    negative class is empty (scale 0), its zeros dequantize to exactly 0
+    instead of ``±scale``.  All-zero rows dequantize to 0 under every
+    statistic (both scales are 0).
     """
     if stat not in ONE_BIT_STATS:
         raise ValueError(
             f"unknown 1-bit statistic {stat!r}; choose from {ONE_BIT_STATS}"
         )
     values = grad.values
-    codes = pack_signs(values >= 0)
-    scales = _split_scales(values, stat).astype(np.float32)
+    scales = _split_scales(values, stat)
+    bits = values >= 0
+    if scales.shape[1] == 2 and len(values):
+        zero = values == 0
+        if zero.any():
+            # Positive bit iff the positive-side scale is the cheaper error.
+            bits = np.where(zero, scales[:, 1:2] <= scales[:, :1], bits)
+    codes = pack_signs(bits)
     return QuantizedRows(indices=grad.indices.copy(), codes=codes,
-                         scales=scales, n_rows=grad.n_rows, dim=grad.dim,
-                         bits=1, stat=stat)
+                         scales=scales.astype(np.float32), n_rows=grad.n_rows,
+                         dim=grad.dim, bits=1, stat=stat)
 
 
 def quantize_2bit(grad: SparseRows, rng: np.random.Generator) -> QuantizedRows:

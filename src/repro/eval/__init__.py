@@ -5,10 +5,12 @@ from .classification import (
     evaluate_classification,
     fit_thresholds,
 )
-from .ranking import RankingResult, evaluate_ranking, rank_triples
+from .ranking import FILTER_IMPLS, RankingResult, evaluate_ranking, \
+    rank_triples
 
 __all__ = [
     "ClassificationResult",
+    "FILTER_IMPLS",
     "RankingResult",
     "evaluate_classification",
     "evaluate_ranking",

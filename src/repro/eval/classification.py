@@ -52,18 +52,18 @@ def _best_threshold(scores: np.ndarray, labels: np.ndarray) -> float:
     # plus sentinels below/above everything.
     candidates = np.concatenate([[s[0] - 1.0], (s[:-1] + s[1:]) / 2.0,
                                  [s[-1] + 1.0]])
-    # For threshold c: correct = #{pos with s > c} + #{neg with s <= c}.
+    # For threshold c: correct = #{pos with s > c} + #{neg with s <= c},
+    # evaluated for every candidate at once via the prefix sums (the
+    # per-candidate searchsorted loop here used to make threshold fitting
+    # quadratic in the split size).
     pos_total = int((y > 0).sum())
-    pos_le = np.cumsum(y > 0)  # positives with score <= s[i]
-    neg_le = np.cumsum(y < 0)
-    best_acc, best_c = -1.0, candidates[0]
-    for c in candidates:
-        k = int(np.searchsorted(s, c, side="right"))  # scores <= c
-        correct = (pos_total - (pos_le[k - 1] if k else 0)) + (neg_le[k - 1] if k else 0)
-        acc = correct / len(s)
-        if acc > best_acc:
-            best_acc, best_c = acc, float(c)
-    return best_c
+    pos_le = np.concatenate([[0], np.cumsum(y > 0)])  # positives <= s[k-1]
+    neg_le = np.concatenate([[0], np.cumsum(y < 0)])
+    ks = np.searchsorted(s, candidates, side="right")  # scores <= c
+    correct = (pos_total - pos_le[ks]) + neg_le[ks]
+    # argmax takes the first maximum — same tie-break as the scan it
+    # replaces (strictly-greater accuracy updates the best).
+    return float(candidates[np.argmax(correct)])
 
 
 def fit_thresholds(model: KGEModel, valid: TripleSet, store: TripleStore,

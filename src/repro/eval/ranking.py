@@ -9,6 +9,20 @@ anywhere in train/valid/test.
 Ranks use the conservative convention ``rank = 1 + #{strictly better} +
 #{ties} / 2`` truncated — we use mean-rank-of-ties ("realistic" ranking) to
 avoid rewarding degenerate constant scores.
+
+Two filter implementations produce bitwise-identical ranks:
+
+* ``filter_impl="csr"`` (default) consults the precomputed
+  :class:`~repro.kg.triples.FilterIndex` and scatters each query's short
+  known-fact list into the score matrix — memory and time per batch scale
+  with the number of known facts, not with ``batch * n_entities``.
+* ``filter_impl="naive"`` rebuilds the known mask per batch by hashing
+  every ``batch * n_entities`` candidate triple, kept as the slow
+  reference implementation the property tests compare against.
+
+Filtered candidates are masked with ``NaN`` (not ``-inf``): NaN compares
+unequal to everything, so a filtered candidate can never re-enter the tie
+count even when a degenerate model scores the true triple ``-inf``.
 """
 
 from __future__ import annotations
@@ -19,6 +33,8 @@ import numpy as np
 
 from ..kg.triples import TripleSet, TripleStore
 from ..models.base import KGEModel
+
+FILTER_IMPLS = ("csr", "naive")
 
 
 @dataclass(frozen=True)
@@ -34,32 +50,100 @@ class RankingResult:
 
 
 def _ranks_from_scores(all_scores: np.ndarray, true_scores: np.ndarray,
-                       filter_mask: np.ndarray | None) -> np.ndarray:
+                       n_candidates: np.ndarray | None = None) -> np.ndarray:
     """Realistic rank of the true entity per query row.
 
-    ``filter_mask`` marks candidate entries to ignore (known facts other
-    than the query triple itself).
+    ``all_scores`` must already have filtered candidates masked to NaN and
+    hold the true triple's score at its own column.  ``n_candidates`` is
+    the per-row count of surviving candidates (true triple included); it
+    defines the worst possible rank, to which a row is clamped when the
+    model scores its true triple ``-inf`` — "impossible" must not be
+    rewarded with a mean-of-ties mid rank.
     """
-    if filter_mask is not None:
-        # Filtered entries cannot outrank the true triple.
-        all_scores = np.where(filter_mask, -np.inf, all_scores)
     better = (all_scores > true_scores[:, None]).sum(axis=1)
     ties = (all_scores == true_scores[:, None]).sum(axis=1)
     # The true entity itself always ties with itself; average remaining ties.
     ties = np.maximum(ties - 1, 0)
-    return 1.0 + better + ties / 2.0
+    ranks = 1.0 + better + ties / 2.0
+    degenerate = np.isneginf(true_scores)
+    if degenerate.any():
+        if n_candidates is None:
+            n_candidates = np.full(len(true_scores), all_scores.shape[1])
+        ranks = np.where(degenerate, n_candidates.astype(np.float64), ranks)
+    return ranks
+
+
+def _filtered_naive(scores: np.ndarray, store: TripleStore,
+                    h: np.ndarray, r: np.ndarray, t: np.ndarray,
+                    tail_side: bool) -> tuple[np.ndarray, np.ndarray]:
+    """Reference path: hash every candidate triple, mask known ones.
+
+    Returns ``(masked score copy, per-row surviving candidate count)``.
+    """
+    b, n_entities = scores.shape
+    cand = np.arange(n_entities)
+    if tail_side:
+        known = store.is_known(
+            np.repeat(h, n_entities), np.repeat(r, n_entities),
+            np.tile(cand, b)).reshape(b, n_entities)
+        known[np.arange(b), t] = False  # never filter the query itself
+    else:
+        known = store.is_known(
+            np.tile(cand, b), np.repeat(r, n_entities),
+            np.repeat(t, n_entities)).reshape(b, n_entities)
+        known[np.arange(b), h] = False
+    masked = np.where(known, np.nan, scores)
+    return masked, n_entities - known.sum(axis=1)
+
+
+def _filtered_csr(scores: np.ndarray, store: TripleStore,
+                  h: np.ndarray, r: np.ndarray, t: np.ndarray,
+                  tail_side: bool) -> tuple[np.ndarray, np.ndarray]:
+    """Fast path: scatter the precomputed per-query filter lists.
+
+    The query triple itself is always in the known set; instead of
+    re-testing membership, its column is restored to the exact score it
+    held before the scatter, which keeps ranks bitwise identical to the
+    naive mask.
+    """
+    b, n_entities = scores.shape
+    index = store.filter_index
+    if tail_side:
+        rows, cols, counts = index.known_tails(h, r)
+        own = t
+    else:
+        rows, cols, counts = index.known_heads(r, t)
+        own = h
+    masked = scores.copy()
+    masked[rows, cols] = np.nan
+    query_rows = np.arange(b)
+    own_filtered = np.isnan(masked[query_rows, own])
+    masked[query_rows, own] = scores[query_rows, own]
+    return masked, n_entities - (counts - own_filtered)
+
+
+_FILTER_FNS = {"csr": _filtered_csr, "naive": _filtered_naive}
 
 
 def rank_triples(model: KGEModel, triples: TripleSet, store: TripleStore,
-                 batch_size: int = 512
+                 batch_size: int = 512, filter_impl: str = "csr",
+                 chunk_entities: int | None = None
                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Per-query ranks: (head_raw, head_filtered, tail_raw, tail_filtered)."""
+    """Per-query ranks: (head_raw, head_filtered, tail_raw, tail_filtered).
+
+    ``chunk_entities`` bounds the candidate-scoring working set (see
+    :meth:`~repro.models.base.KGEModel.score_all_tails`); ``filter_impl``
+    selects the known-fact filter implementation.
+    """
+    if filter_impl not in _FILTER_FNS:
+        raise ValueError(
+            f"unknown filter_impl {filter_impl!r}; choose from {FILTER_IMPLS}")
+    filter_fn = _FILTER_FNS[filter_impl]
     n = len(triples)
     head_raw = np.empty(n)
     head_filt = np.empty(n)
     tail_raw = np.empty(n)
     tail_filt = np.empty(n)
-    n_entities = store.n_entities
 
     for start in range(0, n, batch_size):
         sl = slice(start, min(start + batch_size, n))
@@ -72,25 +156,22 @@ def rank_triples(model: KGEModel, triples: TripleSet, store: TripleStore,
         # of the same candidate matrix so float rounding is identical for
         # the query and its competitors (a separate score() call can differ
         # in the last bits and flip ties).
-        tail_scores = model.score_all_tails(h, r)
+        tail_scores = model.score_all_tails(h, r,
+                                            chunk_entities=chunk_entities)
         true_scores = tail_scores[np.arange(b), t]
-        cand = np.arange(n_entities)
-        known = store.is_known(
-            np.repeat(h, n_entities), np.repeat(r, n_entities),
-            np.tile(cand, b)).reshape(b, n_entities)
-        known[np.arange(b), t] = False  # never filter the query itself
-        tail_raw[sl] = _ranks_from_scores(tail_scores, true_scores, None)
-        tail_filt[sl] = _ranks_from_scores(tail_scores, true_scores, known)
+        masked, n_cand = filter_fn(tail_scores, store, h, r, t,
+                                   tail_side=True)
+        tail_raw[sl] = _ranks_from_scores(tail_scores, true_scores)
+        tail_filt[sl] = _ranks_from_scores(masked, true_scores, n_cand)
 
         # Head replacement: (*, r, t)
-        head_scores = model.score_all_heads(r, t)
+        head_scores = model.score_all_heads(r, t,
+                                            chunk_entities=chunk_entities)
         true_scores = head_scores[np.arange(b), h]
-        known = store.is_known(
-            np.tile(cand, b), np.repeat(r, n_entities),
-            np.repeat(t, n_entities)).reshape(b, n_entities)
-        known[np.arange(b), h] = False
-        head_raw[sl] = _ranks_from_scores(head_scores, true_scores, None)
-        head_filt[sl] = _ranks_from_scores(head_scores, true_scores, known)
+        masked, n_cand = filter_fn(head_scores, store, h, r, t,
+                                   tail_side=False)
+        head_raw[sl] = _ranks_from_scores(head_scores, true_scores)
+        head_filt[sl] = _ranks_from_scores(masked, true_scores, n_cand)
 
     return head_raw, head_filt, tail_raw, tail_filt
 
@@ -98,7 +179,9 @@ def rank_triples(model: KGEModel, triples: TripleSet, store: TripleStore,
 def evaluate_ranking(model: KGEModel, triples: TripleSet, store: TripleStore,
                      batch_size: int = 512,
                      max_queries: int | None = None,
-                     rng: np.random.Generator | None = None) -> RankingResult:
+                     rng: np.random.Generator | None = None,
+                     filter_impl: str = "csr",
+                     chunk_entities: int | None = None) -> RankingResult:
     """Full link-prediction evaluation of one split.
 
     ``max_queries`` subsamples the split (deterministically unless ``rng``
@@ -115,7 +198,8 @@ def evaluate_ranking(model: KGEModel, triples: TripleSet, store: TripleStore,
         triples = triples.subset(idx)
 
     head_raw, head_filt, tail_raw, tail_filt = rank_triples(
-        model, triples, store, batch_size=batch_size)
+        model, triples, store, batch_size=batch_size,
+        filter_impl=filter_impl, chunk_entities=chunk_entities)
     filt = np.concatenate([head_filt, tail_filt])
     raw = np.concatenate([head_raw, tail_raw])
     return RankingResult(

@@ -17,9 +17,10 @@ from .partition import (
     relation_partition,
     uniform_partition,
 )
-from .triples import TripleSet, TripleStore, encode_triples
+from .triples import FilterIndex, TripleSet, TripleStore, encode_triples
 
 __all__ = [
+    "FilterIndex",
     "GraphStats",
     "analyze",
     "describe",

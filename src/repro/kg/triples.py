@@ -74,8 +74,14 @@ class TripleSet:
         return encode_triples(self.heads, self.relations, self.tails)
 
 
+#: Default key layout: 21 bits per id supports ~2M entities/relations.
+ENTITY_BITS = 21
+RELATION_BITS = 21
+
+
 def encode_triples(h: np.ndarray, r: np.ndarray, t: np.ndarray,
-                   entity_bits: int = 21, relation_bits: int = 21) -> np.ndarray:
+                   entity_bits: int = ENTITY_BITS,
+                   relation_bits: int = RELATION_BITS) -> np.ndarray:
     """Pack (h, r, t) into one int64 per triple.
 
     21 bits each supports up to ~2M entities/relations — plenty for the
@@ -92,6 +98,124 @@ def encode_triples(h: np.ndarray, r: np.ndarray, t: np.ndarray,
             | np.asarray(t, dtype=np.int64))
 
 
+@dataclass(frozen=True)
+class FilterIndex:
+    """CSR-style adjacency over the known triples of a dataset.
+
+    The filtered-MRR protocol needs, for every query ``(h, r, ?)``, the set
+    of *known* tails of ``(h, r)`` (and symmetrically the known heads of
+    ``(r, t)``).  That set is static for the whole run, so instead of
+    hashing ``batch * n_entities`` candidate triples per evaluation batch
+    (the naive path), we group all known triples **once**:
+
+    * ``_hr_keys[i]`` is the i-th occupied ``(h, r)`` group (packed as one
+      int64); its known tails are ``_hr_tails[_hr_indptr[i]:_hr_indptr[i+1]]``.
+    * ``_rt_keys`` / ``_rt_indptr`` / ``_rt_heads`` mirror this for the
+      head-replacement side.
+
+    Lookups are a ``searchsorted`` over the (few) occupied groups plus a
+    gather of the (short) per-group member lists — memory and time scale
+    with the number of known facts per query, not with ``n_entities``.
+    """
+
+    n_entities: int
+    n_relations: int
+    _hr_keys: np.ndarray = field(repr=False)
+    _hr_indptr: np.ndarray = field(repr=False)
+    _hr_tails: np.ndarray = field(repr=False)
+    _rt_keys: np.ndarray = field(repr=False)
+    _rt_indptr: np.ndarray = field(repr=False)
+    _rt_heads: np.ndarray = field(repr=False)
+
+    @classmethod
+    def from_triples(cls, h: np.ndarray, r: np.ndarray, t: np.ndarray,
+                     n_entities: int, n_relations: int) -> "FilterIndex":
+        """Group (possibly duplicated) known triples into both adjacencies."""
+        keys = np.unique(encode_triples(h, r, t))
+        # Key layout is h|r|t, so the sorted unique keys are already grouped
+        # by (h, r) with tails ascending within each group.
+        hr = keys >> ENTITY_BITS
+        tails = keys & ((1 << ENTITY_BITS) - 1)
+        hr_keys, hr_indptr = _csr_groups(hr)
+        # Head side: re-pack as (r, t, h) and sort once more.
+        rel = hr & ((1 << RELATION_BITS) - 1)
+        heads = keys >> (RELATION_BITS + ENTITY_BITS)
+        rt_full = np.sort((rel << (2 * ENTITY_BITS)) | (tails << ENTITY_BITS)
+                          | heads)
+        rt = rt_full >> ENTITY_BITS
+        rt_heads = rt_full & ((1 << ENTITY_BITS) - 1)
+        rt_keys, rt_indptr = _csr_groups(rt)
+        return cls(n_entities=n_entities, n_relations=n_relations,
+                   _hr_keys=hr_keys, _hr_indptr=hr_indptr, _hr_tails=tails,
+                   _rt_keys=rt_keys, _rt_indptr=rt_indptr, _rt_heads=rt_heads)
+
+    @property
+    def n_triples(self) -> int:
+        """Number of distinct known triples indexed."""
+        return len(self._hr_tails)
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the index arrays."""
+        return sum(a.nbytes for a in (
+            self._hr_keys, self._hr_indptr, self._hr_tails,
+            self._rt_keys, self._rt_indptr, self._rt_heads))
+
+    def known_tails(self, h: np.ndarray, r: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Known tails of each query ``(h_i, r_i)`` in COO form.
+
+        Returns ``(rows, tails, counts)``: ``tails[k]`` is a known tail of
+        query ``rows[k]`` (rows ascending), and ``counts[i]`` is the number
+        of known tails of query ``i`` — ready to scatter into a
+        ``(batch, n_entities)`` score matrix.
+        """
+        h = np.asarray(h, dtype=np.int64)
+        r = np.asarray(r, dtype=np.int64)
+        qkeys = (h << RELATION_BITS) | r
+        return _csr_lookup(self._hr_keys, self._hr_indptr, self._hr_tails,
+                           qkeys)
+
+    def known_heads(self, r: np.ndarray, t: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Known heads of each query ``(r_i, t_i)``; see :meth:`known_tails`."""
+        r = np.asarray(r, dtype=np.int64)
+        t = np.asarray(t, dtype=np.int64)
+        qkeys = (r << ENTITY_BITS) | t
+        return _csr_lookup(self._rt_keys, self._rt_indptr, self._rt_heads,
+                           qkeys)
+
+
+def _csr_groups(sorted_groups: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unique group keys + indptr for an ascending-sorted group column."""
+    keys, counts = np.unique(sorted_groups, return_counts=True)
+    indptr = np.zeros(len(keys) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return keys, indptr
+
+
+def _csr_lookup(keys: np.ndarray, indptr: np.ndarray, members: np.ndarray,
+                qkeys: np.ndarray
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather each query key's member list; empty for unoccupied groups."""
+    n_queries = len(qkeys)
+    if len(keys) == 0 or n_queries == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.zeros(n_queries, dtype=np.int64)
+    pos = np.searchsorted(keys, qkeys)
+    pos = np.minimum(pos, len(keys) - 1)
+    hit = keys[pos] == qkeys
+    starts = np.where(hit, indptr[pos], 0)
+    counts = np.where(hit, indptr[pos + 1] - indptr[pos], 0)
+    total = int(counts.sum())
+    rows = np.repeat(np.arange(n_queries, dtype=np.int64), counts)
+    # Flat member positions: each query's run starts at `starts[i]` and the
+    # arange trick turns the global offset into a within-run offset.
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts)
+    return rows, members[np.repeat(starts, counts) + offsets], counts
+
+
 @dataclass
 class TripleStore:
     """A complete KG dataset: entity/relation vocabularies plus splits."""
@@ -103,6 +227,8 @@ class TripleStore:
     test: TripleSet
     name: str = "kg"
     _known_keys: np.ndarray = field(init=False, repr=False)
+    _filter_index: FilterIndex | None = field(init=False, repr=False,
+                                              default=None)
 
     def __post_init__(self) -> None:
         if self.n_entities < 1 or self.n_relations < 1:
@@ -127,6 +253,24 @@ class TripleStore:
     @property
     def n_train(self) -> int:
         return len(self.train)
+
+    @property
+    def filter_index(self) -> FilterIndex:
+        """CSR adjacency over train+valid+test, built lazily and cached.
+
+        One build serves every validation epoch and the final test pass —
+        the known-facts structure is static for the whole run.
+        """
+        if self._filter_index is None:
+            heads = np.concatenate([self.train.heads, self.valid.heads,
+                                    self.test.heads])
+            rels = np.concatenate([self.train.relations, self.valid.relations,
+                                   self.test.relations])
+            tails = np.concatenate([self.train.tails, self.valid.tails,
+                                    self.test.tails])
+            self._filter_index = FilterIndex.from_triples(
+                heads, rels, tails, self.n_entities, self.n_relations)
+        return self._filter_index
 
     def is_known(self, h: np.ndarray, r: np.ndarray, t: np.ndarray) -> np.ndarray:
         """Vectorised membership test against train+valid+test.

@@ -71,12 +71,55 @@ class KGEModel(abc.ABC):
         """
 
     @abc.abstractmethod
-    def score_all_tails(self, h: np.ndarray, r: np.ndarray) -> np.ndarray:
-        """Scores of (h_i, r_i, every entity): shape (batch, n_entities)."""
+    def score_tails_block(self, h: np.ndarray, r: np.ndarray,
+                          lo: int, hi: int) -> np.ndarray:
+        """Scores of (h_i, r_i, e) for candidate entities ``e in [lo, hi)``.
+
+        Returns shape ``(batch, hi - lo)``.  This is the only candidate
+        scoring a model must implement; the chunking driver in
+        :meth:`score_all_tails` builds the full matrix from blocks.
+        """
 
     @abc.abstractmethod
-    def score_all_heads(self, r: np.ndarray, t: np.ndarray) -> np.ndarray:
+    def score_heads_block(self, r: np.ndarray, t: np.ndarray,
+                          lo: int, hi: int) -> np.ndarray:
+        """Scores of (e, r_i, t_i) for candidate entities ``e in [lo, hi)``."""
+
+    # -- candidate scoring (chunked driver) --------------------------------
+
+    def score_all_tails(self, h: np.ndarray, r: np.ndarray,
+                        chunk_entities: int | None = None) -> np.ndarray:
+        """Scores of (h_i, r_i, every entity): shape (batch, n_entities).
+
+        ``chunk_entities`` bounds peak intermediate memory: candidates are
+        scored ``chunk_entities`` at a time, so models whose block scoring
+        materialises ``batch x block x width`` intermediates (TransE,
+        RotatE) stay within ``batch x chunk x width`` instead of
+        ``batch x n_entities x width``.  ``None`` scores in one block.
+        """
+        return self._score_chunked(self.score_tails_block, h, r,
+                                   chunk_entities)
+
+    def score_all_heads(self, r: np.ndarray, t: np.ndarray,
+                        chunk_entities: int | None = None) -> np.ndarray:
         """Scores of (every entity, r_i, t_i): shape (batch, n_entities)."""
+        return self._score_chunked(self.score_heads_block, r, t,
+                                   chunk_entities)
+
+    def _score_chunked(self, block_fn, a: np.ndarray, b: np.ndarray,
+                       chunk_entities: int | None) -> np.ndarray:
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if chunk_entities is not None and chunk_entities < 1:
+            raise ValueError(
+                f"chunk_entities must be >= 1, got {chunk_entities}")
+        if chunk_entities is None or chunk_entities >= self.n_entities:
+            return block_fn(a, b, 0, self.n_entities)
+        out = np.empty((len(a), self.n_entities), dtype=np.float32)
+        for lo in range(0, self.n_entities, chunk_entities):
+            hi = min(lo + chunk_entities, self.n_entities)
+            out[:, lo:hi] = block_fn(a, b, lo, hi)
+        return out
 
     # -- gradient assembly -------------------------------------------------
 

@@ -59,22 +59,24 @@ class ComplEx(KGEModel):
                               u * (h_re * r_im + h_im * r_re)], axis=1)
         return g_h, g_r, g_t
 
-    def score_all_tails(self, h: np.ndarray, r: np.ndarray) -> np.ndarray:
+    def score_tails_block(self, h: np.ndarray, r: np.ndarray,
+                          lo: int, hi: int) -> np.ndarray:
         h_re, h_im = self._split(self.entity_emb[np.asarray(h, dtype=np.int64)])
         r_re, r_im = self._split(self.relation_emb[np.asarray(r, dtype=np.int64)])
         hr_re = h_re * r_re - h_im * r_im
         hr_im = h_re * r_im + h_im * r_re
-        e_re, e_im = self._split(self.entity_emb)
+        e_re, e_im = self._split(self.entity_emb[lo:hi])
         return hr_re @ e_re.T + hr_im @ e_im.T
 
-    def score_all_heads(self, r: np.ndarray, t: np.ndarray) -> np.ndarray:
+    def score_heads_block(self, r: np.ndarray, t: np.ndarray,
+                          lo: int, hi: int) -> np.ndarray:
         r_re, r_im = self._split(self.relation_emb[np.asarray(r, dtype=np.int64)])
         t_re, t_im = self._split(self.entity_emb[np.asarray(t, dtype=np.int64)])
         # phi as a function of h: h_re . (r_re t_re + r_im t_im)
         #                       + h_im . (r_re t_im - r_im t_re)
         a = r_re * t_re + r_im * t_im
         b = r_re * t_im - r_im * t_re
-        e_re, e_im = self._split(self.entity_emb)
+        e_re, e_im = self._split(self.entity_emb[lo:hi])
         return a @ e_re.T + b @ e_im.T
 
     def flops_per_example(self, backward: bool = True) -> int:

@@ -30,15 +30,15 @@ class DistMult(KGEModel):
         u = np.asarray(upstream, dtype=np.float32)[:, None]
         return u * e_r * e_t, u * e_h * e_t, u * e_h * e_r
 
-    def score_all_tails(self, h, r):
+    def score_tails_block(self, h, r, lo, hi):
         e_h = self.entity_emb[np.asarray(h, dtype=np.int64)]
         e_r = self.relation_emb[np.asarray(r, dtype=np.int64)]
-        return (e_h * e_r) @ self.entity_emb.T
+        return (e_h * e_r) @ self.entity_emb[lo:hi].T
 
-    def score_all_heads(self, r, t):
+    def score_heads_block(self, r, t, lo, hi):
         e_r = self.relation_emb[np.asarray(r, dtype=np.int64)]
         e_t = self.entity_emb[np.asarray(t, dtype=np.int64)]
-        return (e_r * e_t) @ self.entity_emb.T
+        return (e_r * e_t) @ self.entity_emb[lo:hi].T
 
     def flops_per_example(self, backward: bool = True) -> int:
         forward = 3 * self.dim

@@ -74,21 +74,21 @@ class RotatE(KGEModel):
         cos, sin = np.cos(theta), np.sin(theta)
         return h_re * cos - h_im * sin, h_re * sin + h_im * cos
 
-    def score_all_tails(self, h, r):
+    def score_tails_block(self, h, r, lo, hi):
         hr_re, hr_im = self._rotated_heads(h, r)
-        e_re, e_im = self._split(self.entity_emb)
+        e_re, e_im = self._split(self.entity_emb[lo:hi])
         u = hr_re[:, None, :] - e_re[None, :, :]
         v = hr_im[:, None, :] - e_im[None, :, :]
         return -np.sqrt(np.maximum(u * u + v * v, 1e-12)).sum(axis=-1)
 
-    def score_all_heads(self, r, t):
+    def score_heads_block(self, r, t, lo, hi):
         # |h e^{i theta} - t| = |h - t e^{-i theta}|: rotate tails backward.
         t_re, t_im = self._split(self.entity_emb[np.asarray(t, dtype=np.int64)])
         theta = self.relation_emb[np.asarray(r, dtype=np.int64)]
         cos, sin = np.cos(theta), np.sin(theta)
         tr_re = t_re * cos + t_im * sin
         tr_im = -t_re * sin + t_im * cos
-        e_re, e_im = self._split(self.entity_emb)
+        e_re, e_im = self._split(self.entity_emb[lo:hi])
         u = e_re[None, :, :] - tr_re[:, None, :]
         v = e_im[None, :, :] - tr_im[:, None, :]
         return -np.sqrt(np.maximum(u * u + v * v, 1e-12)).sum(axis=-1)

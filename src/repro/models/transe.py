@@ -51,18 +51,18 @@ class TransE(KGEModel):
         # d phi/d h = g, d phi/d r = g, d phi/d t = -g
         return g, g.copy(), -g
 
-    def score_all_tails(self, h, r):
+    def score_tails_block(self, h, r, lo, hi):
         base = (self.entity_emb[np.asarray(h, dtype=np.int64)]
                 + self.relation_emb[np.asarray(r, dtype=np.int64)])
-        diffs = base[:, None, :] - self.entity_emb[None, :, :]
+        diffs = base[:, None, :] - self.entity_emb[None, lo:hi, :]
         if self.norm == 1:
             return -np.abs(diffs).sum(axis=-1)
         return -np.sqrt(np.maximum(np.sum(diffs * diffs, axis=-1), 1e-12))
 
-    def score_all_heads(self, r, t):
+    def score_heads_block(self, r, t, lo, hi):
         base = (self.entity_emb[np.asarray(t, dtype=np.int64)]
                 - self.relation_emb[np.asarray(r, dtype=np.int64)])
-        diffs = self.entity_emb[None, :, :] - base[:, None, :]
+        diffs = self.entity_emb[None, lo:hi, :] - base[:, None, :]
         if self.norm == 1:
             return -np.abs(diffs).sum(axis=-1)
         return -np.sqrt(np.maximum(np.sum(diffs * diffs, axis=-1), 1e-12))

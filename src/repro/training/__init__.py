@@ -6,7 +6,7 @@ from .baselines import (
     allreduce_time_per_step,
     parameter_server_time_per_step,
 )
-from .metrics import EpochLog, TrainResult
+from .metrics import EpochLog, EvalTimer, TrainResult
 from .strategy import (
     PRESETS,
     StrategyConfig,
@@ -25,6 +25,7 @@ from .worker import StepOutput, Worker
 __all__ = [
     "DistributedTrainer",
     "EpochLog",
+    "EvalTimer",
     "PRESETS",
     "ParameterServerTopology",
     "ParameterServerTrainer",

@@ -1,8 +1,46 @@
-"""Training telemetry: per-epoch logs and the final result record."""
+"""Training telemetry: per-epoch logs, eval timing and the final result."""
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+
+class EvalTimer:
+    """Accumulates real wall seconds and query counts of evaluation calls.
+
+    The simulated cluster charges *modeled* eval time (``EpochLog.eval_time``)
+    — this timer measures what evaluation actually costs the host process,
+    which is what the filtered-ranking fast path optimises.  One ranking
+    query = one (head or tail) candidate sweep, so a triple contributes two.
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.queries = 0
+        self.sections = 0
+
+    @contextmanager
+    def measure(self):
+        """Time one evaluation section (wall clock)."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.seconds += time.perf_counter() - start
+            self.sections += 1
+
+    def count(self, queries: int) -> None:
+        """Record ranking queries executed inside the current section."""
+        self.queries += int(queries)
+
+    @property
+    def queries_per_sec(self) -> float:
+        """Measured evaluation throughput (0 before any timed section)."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.queries / self.seconds
 
 
 @dataclass
@@ -49,6 +87,17 @@ class TrainResult:
     straggler_skew: float = 0.0
     #: Epoch at which DRS committed its allgather switch (0 = never).
     drs_switch_epoch: int = 0
+    #: Real wall seconds the host spent in ranking evaluation (not simulated).
+    eval_seconds: float = 0.0
+    #: Ranking queries executed (head + tail sweeps count separately).
+    eval_queries: int = 0
+
+    @property
+    def eval_queries_per_sec(self) -> float:
+        """Measured evaluation throughput of the run (0 if untimed)."""
+        if self.eval_seconds <= 0.0:
+            return 0.0
+        return self.eval_queries / self.eval_seconds
 
     @property
     def total_hours(self) -> float:

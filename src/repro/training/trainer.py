@@ -42,13 +42,13 @@ from ..compress.quantization import dequantize, quantization_error, \
 from ..compress.selection import select
 from ..config import DEFAULT_SEED
 from ..eval.classification import evaluate_classification
-from ..eval.ranking import evaluate_ranking
+from ..eval.ranking import FILTER_IMPLS, RankingResult, evaluate_ranking
 from ..kg.partition import relation_partition, uniform_partition
 from ..kg.triples import TripleStore
 from ..models import make_model
 from ..optim.adam import Adam
 from ..optim.lr_schedule import PlateauScheduler, scaled_initial_lr
-from .metrics import EpochLog, TrainResult
+from .metrics import EpochLog, EvalTimer, TrainResult
 from .strategy import StrategyConfig
 from .worker import Worker
 
@@ -69,6 +69,14 @@ class TrainConfig:
     max_epochs: int = 500
     eval_max_queries: int = 200
     eval_batch_size: int = 256
+    #: Known-fact filter used by filtered MRR: "csr" scatters the
+    #: precomputed FilterIndex lists (fast), "naive" rebuilds the mask per
+    #: batch (reference implementation).
+    eval_filter_impl: str = "csr"
+    #: Cap on candidate entities scored at once during evaluation; bounds
+    #: peak scoring memory to batch x chunk instead of batch x n_entities
+    #: (None = unchunked).
+    eval_chunk_entities: int | None = None
     seed: int = DEFAULT_SEED
     zero_row_tol: float = 1e-5
     model_name: str = "complex"
@@ -93,6 +101,14 @@ class TrainConfig:
             raise ValueError(
                 f"compute_time_mode must be 'modeled' or 'measured', "
                 f"got {self.compute_time_mode!r}")
+        if self.eval_filter_impl not in FILTER_IMPLS:
+            raise ValueError(
+                f"eval_filter_impl must be one of {FILTER_IMPLS}, "
+                f"got {self.eval_filter_impl!r}")
+        if self.eval_chunk_entities is not None and self.eval_chunk_entities < 1:
+            raise ValueError(
+                f"eval_chunk_entities must be >= 1 or None, "
+                f"got {self.eval_chunk_entities}")
 
 
 @dataclass
@@ -142,6 +158,7 @@ class DistributedTrainer:
         self.faults = faults
         self.cluster = Cluster(n_nodes, self.network, faults=faults)
         self._fallbacks = 0
+        self.eval_timer = EvalTimer()
 
         cfg = self.config
         self.model = make_model(cfg.model_name, store.n_entities,
@@ -316,12 +333,23 @@ class DistributedTrainer:
         sparsity = dropped / total_rows if total_rows else 0.0
         return combined, sparsity
 
+    def _rank_split(self, split) -> RankingResult:
+        """Filtered-ranking evaluation of one split, wall-clock timed."""
+        cfg = self.config
+        with self.eval_timer.measure():
+            result = evaluate_ranking(
+                self.model, split, self.store,
+                batch_size=cfg.eval_batch_size,
+                filter_impl=cfg.eval_filter_impl,
+                chunk_entities=cfg.eval_chunk_entities,
+                max_queries=(cfg.eval_max_queries
+                             if split is self.store.valid else None))
+            self.eval_timer.count(2 * result.n_queries)
+        return result
+
     def _evaluate_validation(self) -> tuple[float, float]:
         """Validation MRR (plateau metric) and its modeled eval time."""
-        cfg = self.config
-        result = evaluate_ranking(self.model, self.store.valid, self.store,
-                                  batch_size=cfg.eval_batch_size,
-                                  max_queries=cfg.eval_max_queries)
+        result = self._rank_split(self.store.valid)
         # Eval work is sharded across ranks in the real system.
         fwd = self.model.flops_per_example(backward=False)
         flops = 2.0 * result.n_queries * self.store.n_entities * fwd
@@ -451,8 +479,7 @@ class DistributedTrainer:
         result.comm_fallbacks = self._fallbacks
         result.straggler_skew = self.cluster.straggler_skew
 
-        test = evaluate_ranking(self.model, self.store.test, self.store,
-                                batch_size=cfg.eval_batch_size)
+        test = self._rank_split(self.store.test)
         result.test_mrr = test.mrr
         result.test_mrr_raw = test.mrr_raw
         result.test_hits10 = test.hits_at_10
@@ -460,6 +487,8 @@ class DistributedTrainer:
                                       self.store.valid, self.store,
                                       seed=cfg.seed)
         result.test_tca = tca.accuracy
+        result.eval_seconds = self.eval_timer.seconds
+        result.eval_queries = self.eval_timer.queries
         return result
 
 

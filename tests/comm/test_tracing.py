@@ -54,6 +54,66 @@ class TestLifecycle:
         totals = tracer.total_time_by_category()
         assert totals["compute"] == pytest.approx(3.0)
 
+    def test_advance_compute_all_traced(self, cluster):
+        with ClusterTracer(cluster) as tracer:
+            cluster.advance_compute_all(0.5)
+        events = tracer.compute_events()
+        assert len(events) == cluster.n_ranks
+        assert {e.rank for e in events} == set(range(cluster.n_ranks))
+        assert tracer.total_time_by_category()["compute"] == pytest.approx(
+            0.5 * cluster.n_ranks)
+
+    def test_failing_run_detaches_and_can_retrace(self, cluster):
+        """A raising traced run must not leave the cluster patched."""
+        orig_charge = cluster.charge_collective
+        orig_advance = cluster.advance_compute
+        orig_advance_all = cluster.advance_compute_all
+
+        class Boom(RuntimeError):
+            pass
+
+        for _ in range(2):  # trace a failing run twice in a row
+            with pytest.raises(Boom):
+                with ClusterTracer(cluster) as tracer:
+                    cluster.advance_compute(0, 1.0)
+                    raise Boom()
+            assert len(tracer.compute_events()) == 1
+            assert cluster.charge_collective == orig_charge
+            assert cluster.advance_compute == orig_advance
+            assert cluster.advance_compute_all == orig_advance_all
+
+    def test_trace_helper_detaches_on_error(self, cluster):
+        orig_advance = cluster.advance_compute
+        tracer = ClusterTracer(cluster)
+
+        def failing_run():
+            cluster.advance_compute(1, 0.5)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            tracer.trace(failing_run)
+        assert cluster.advance_compute == orig_advance
+        assert len(tracer.compute_events()) == 1
+        # The tracer is reusable afterwards.
+        assert tracer.trace(lambda: 42) == 42
+
+    def test_stale_patch_not_captured_as_original(self, cluster):
+        """Attaching over another live tracer is refused, not stacked."""
+        first = ClusterTracer(cluster).attach()
+        second = ClusterTracer(cluster)
+        with pytest.raises(RuntimeError, match="already traced"):
+            second.attach()
+        first.detach()
+        second.attach()
+        second.detach()
+
+    def test_detach_idempotent(self, cluster):
+        orig = cluster.advance_compute
+        tracer = ClusterTracer(cluster).attach()
+        tracer.detach()
+        tracer.detach()
+        assert cluster.advance_compute == orig
+
 
 class TestExport:
     def test_chrome_trace_schema(self, cluster):

@@ -89,6 +89,46 @@ class TestOneBitVariants:
         assert q1.scales.shape[1] == 1
 
 
+class TestZeroHandling:
+    @pytest.mark.parametrize("stat", ONE_BIT_STATS)
+    def test_all_zero_rows_roundtrip_to_zero(self, stat):
+        values = np.zeros((3, 5), dtype=np.float32)
+        back = dequantize(quantize_1bit(grad_from(values), stat=stat))
+        np.testing.assert_array_equal(back.values, values)
+
+    def test_zeros_do_not_dilute_posavg(self):
+        """Zeros used to count as positives, halving the posavg scale."""
+        values = np.array([[0.0, 0.0, 2.0, 4.0]], dtype=np.float32)
+        q = quantize_1bit(grad_from(values), stat="posavg")
+        assert q.scales[0, 1] == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("stat", ["negmax", "posmax", "negavg", "posavg"])
+    def test_zeros_exact_when_one_sign_class_empty(self, stat):
+        """With no positives, the positive scale is 0 and zeros land there."""
+        values = np.array([[-4.0, 0.0, -2.0, 0.0]], dtype=np.float32)
+        back = dequantize(quantize_1bit(grad_from(values), stat=stat))
+        assert (back.values[0, [1, 3]] == 0.0).all()
+        assert (back.values[0, [0, 2]] < 0.0).all()
+
+    def test_zeros_take_smaller_scale_class(self):
+        values = np.array([[-10.0, 0.0, 1.0]], dtype=np.float32)
+        back = dequantize(quantize_1bit(grad_from(values), stat="negmax"))
+        # |error| for the zero is min(10, 1) = 1, not 10.
+        np.testing.assert_allclose(back.values, [[-10.0, 1.0, 1.0]])
+
+    @pytest.mark.parametrize("stat", ONE_BIT_STATS)
+    def test_mixed_rows_with_zeros_roundtrip(self, stat):
+        """Residual + dequant reconstructs exactly even with zero elements."""
+        values = np.array([[0.0, -3.0, 0.0, 5.0, 1.0],
+                           [0.0, 0.0, 0.0, 0.0, 0.0],
+                           [-2.0, 0.0, -7.0, 0.0, 0.0]], dtype=np.float32)
+        grad = grad_from(values)
+        q = quantize_1bit(grad, stat=stat)
+        err = quantization_error(grad, q)
+        np.testing.assert_allclose(err.values + dequantize(q).values, values,
+                                   rtol=1e-6, atol=1e-6)
+
+
 class TestTwoBit:
     def test_values_in_ternary_times_mean(self):
         rng = np.random.default_rng(3)

@@ -71,6 +71,66 @@ class TestRankMechanics:
         assert tail_filt[0] >= 1.0
 
 
+class NegInfModel(DistMult):
+    """Degenerate scorer: every candidate (true triple included) is -inf."""
+
+    def score_tails_block(self, h, r, lo, hi):
+        return np.full((len(h), hi - lo), -np.inf, dtype=np.float32)
+
+    def score_heads_block(self, r, t, lo, hi):
+        return np.full((len(r), hi - lo), -np.inf, dtype=np.float32)
+
+
+class TestDegenerateScores:
+    @pytest.mark.parametrize("filter_impl", ["csr", "naive"])
+    def test_neg_inf_true_score_clamps_to_worst_rank(self, filter_impl):
+        """-inf everywhere used to give the true triple a mid-pack tie rank;
+        it must get the worst defined rank instead."""
+        store = toy_store()
+        m = NegInfModel(store.n_entities, store.n_relations, 4, seed=0)
+        head_raw, head_filt, tail_raw, tail_filt = rank_triples(
+            m, store.test, store, filter_impl=filter_impl)
+        # Raw: every one of the 8 entities survives, so worst rank is 8.
+        np.testing.assert_array_equal(head_raw, 8.0)
+        np.testing.assert_array_equal(tail_raw, 8.0)
+        # Filtered: worst rank is the per-query surviving candidate count,
+        # never better than rank 1 and never beyond n_entities.
+        for ranks in (head_filt, tail_filt):
+            assert (ranks >= 1.0).all()
+            assert (ranks <= store.n_entities).all()
+
+    def test_neg_inf_filtered_rank_counts_survivors(self):
+        store = toy_store()
+        m = NegInfModel(store.n_entities, store.n_relations, 4, seed=0)
+        _, _, _, tail_filt = rank_triples(
+            m, store.test.subset(np.array([1])), store)
+        # Query (1, 1, 0): known tails for (h=1, r=1) are {2, 0}; 2 is
+        # filtered, the query itself survives -> 7 candidates remain.
+        assert tail_filt[0] == 7.0
+
+    def test_neg_inf_impls_agree(self):
+        store = toy_store()
+        m = NegInfModel(store.n_entities, store.n_relations, 4, seed=0)
+        naive = rank_triples(m, store.test, store, filter_impl="naive")
+        csr = rank_triples(m, store.test, store, filter_impl="csr")
+        for a, b in zip(naive, csr):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestFilterImplArg:
+    def test_unknown_impl_rejected(self):
+        store = toy_store()
+        m = ComplEx(store.n_entities, store.n_relations, 4, seed=0)
+        with pytest.raises(ValueError, match="filter_impl"):
+            rank_triples(m, store.test, store, filter_impl="bitmap")
+
+    def test_bad_chunk_rejected(self):
+        store = toy_store()
+        m = ComplEx(store.n_entities, store.n_relations, 4, seed=0)
+        with pytest.raises(ValueError):
+            rank_triples(m, store.test, store, chunk_entities=0)
+
+
 class TestEvaluateRanking:
     def test_result_fields_consistent(self):
         store = toy_store()
@@ -100,6 +160,56 @@ class TestEvaluateRanking:
         res = evaluate_ranking(m, store.test, store, max_queries=1,
                                rng=np.random.default_rng(0))
         assert res.n_queries == 1
+
+    def test_subsample_one_query_is_first_triple(self):
+        """max_queries=1: linspace picks exactly index 0."""
+        store = toy_store()
+        m = ComplEx(store.n_entities, store.n_relations, 4, seed=0)
+        sub = evaluate_ranking(m, store.test, store, max_queries=1)
+        first = evaluate_ranking(m, store.test.subset(np.array([0])), store)
+        assert sub.n_queries == 1
+        assert sub.mrr == first.mrr
+
+    def test_subsample_len_minus_one(self):
+        """max_queries = len-1 keeps len-1 *distinct* queries."""
+        from repro.kg.datasets import generate_latent_kg
+        store = generate_latent_kg(20, 3, 120, seed=0)
+        m = ComplEx(store.n_entities, store.n_relations, 4, seed=0)
+        n = len(store.test)
+        res = evaluate_ranking(m, store.test, store, max_queries=n - 1)
+        again = evaluate_ranking(m, store.test, store, max_queries=n - 1)
+        assert res.n_queries == n - 1
+        assert res.mrr == again.mrr
+
+    @pytest.mark.parametrize("n,k", [(2, 1), (10, 9), (10, 1), (37, 36),
+                                     (37, 17), (5, 4)])
+    def test_linspace_indices_strictly_increasing_unique(self, n, k):
+        """The deterministic subsampling formula must never repeat a query,
+        including the max_queries == len-1 and == 1 boundary shapes."""
+        idx = np.linspace(0, n - 1, k).astype(np.int64)
+        assert len(idx) == k
+        assert (np.diff(idx) > 0).all()
+        assert len(np.unique(idx)) == k
+        assert idx[0] == 0 and idx[-1] <= n - 1
+
+    def test_rng_subsampling_reproducible_under_fixed_seed(self):
+        from repro.kg.datasets import generate_latent_kg
+        store = generate_latent_kg(20, 3, 120, seed=1)
+        m = ComplEx(store.n_entities, store.n_relations, 4, seed=0)
+        a = evaluate_ranking(m, store.test, store, max_queries=3,
+                             rng=np.random.default_rng(42))
+        b = evaluate_ranking(m, store.test, store, max_queries=3,
+                             rng=np.random.default_rng(42))
+        assert a == b
+        assert a.n_queries == 3
+
+    def test_max_queries_at_least_split_size_is_noop(self):
+        store = toy_store()
+        m = ComplEx(store.n_entities, store.n_relations, 4, seed=0)
+        full = evaluate_ranking(m, store.test, store)
+        capped = evaluate_ranking(m, store.test, store,
+                                  max_queries=len(store.test))
+        assert full == capped
 
     def test_empty_split_rejected(self):
         store = toy_store()

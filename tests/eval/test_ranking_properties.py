@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.eval.ranking import evaluate_ranking, rank_triples
 from repro.kg.datasets import generate_latent_kg
-from repro.models import ComplEx, DistMult
+from repro.models import ComplEx, DistMult, RotatE, TransE
 
 
 @st.composite
@@ -67,3 +67,55 @@ class TestScoreMonotonicity:
         model.entity_emb[t] += 10.0 * direction / np.linalg.norm(direction)
         _, _, after, _ = rank_triples(model, query, store)
         assert after[0] <= before[0]
+
+
+class TestFilterImplEquivalence:
+    """The CSR fast path must be *bitwise* identical to the naive mask."""
+
+    MODELS = [ComplEx, DistMult, TransE, RotatE]
+
+    def test_bitwise_identical_on_50_random_graphs(self):
+        for seed in range(50):
+            rng = np.random.default_rng(seed)
+            n_entities = int(rng.integers(12, 48))
+            n_relations = int(rng.integers(2, 7))
+            store = generate_latent_kg(n_entities, n_relations,
+                                       n_triples=n_entities * 6, seed=seed)
+            model_cls = self.MODELS[seed % len(self.MODELS)]
+            model = model_cls(n_entities, n_relations, 4, seed=seed + 1)
+            naive = rank_triples(model, store.test, store,
+                                 filter_impl="naive")
+            csr = rank_triples(model, store.test, store, filter_impl="csr")
+            for a, b in zip(naive, csr):
+                np.testing.assert_array_equal(a, b)
+
+    @given(store_and_model())
+    @settings(max_examples=15, deadline=None)
+    def test_property_csr_equals_naive(self, sm):
+        store, model = sm
+        naive = rank_triples(model, store.test, store, filter_impl="naive")
+        csr = rank_triples(model, store.test, store, filter_impl="csr")
+        for a, b in zip(naive, csr):
+            np.testing.assert_array_equal(a, b)
+
+    @given(store_and_model(), st.integers(1, 64))
+    @settings(max_examples=15, deadline=None)
+    def test_property_chunking_bitwise_invariant(self, sm, chunk):
+        """Any chunk size must reproduce the unchunked ranks exactly."""
+        store, model = sm
+        full = rank_triples(model, store.test, store)
+        chunked = rank_triples(model, store.test, store,
+                               chunk_entities=chunk)
+        for a, b in zip(full, chunked):
+            np.testing.assert_array_equal(a, b)
+
+    def test_chunking_bitwise_invariant_all_models(self):
+        store = generate_latent_kg(25, 3, 150, seed=3)
+        for model_cls in self.MODELS:
+            model = model_cls(25, 3, 8, seed=4)
+            full = rank_triples(model, store.test, store)
+            for chunk in (1, 7, 24, 25, 1000):
+                chunked = rank_triples(model, store.test, store,
+                                       chunk_entities=chunk)
+                for a, b in zip(full, chunked):
+                    np.testing.assert_array_equal(a, b)

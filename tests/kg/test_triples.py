@@ -142,3 +142,87 @@ class TestTripleStore:
     def test_summary(self):
         s = small_store().summary()
         assert s["entities"] == 4 and s["train"] == 5
+
+
+class TestFilterIndex:
+    def brute_tails(self, store, h, r):
+        facts = {(int(a), int(b), int(c))
+                 for split in (store.train, store.valid, store.test)
+                 for a, b, c in split.to_array()}
+        return sorted(t for (a, b, t) in facts if a == h and b == r)
+
+    def brute_heads(self, store, r, t):
+        facts = {(int(a), int(b), int(c))
+                 for split in (store.train, store.valid, store.test)
+                 for a, b, c in split.to_array()}
+        return sorted(h for (h, b, c) in facts if b == r and c == t)
+
+    def test_known_tails_matches_brute_force(self):
+        store = small_store()
+        index = store.filter_index
+        queries = [(h, r) for h in range(4) for r in range(3)]
+        h = np.array([q[0] for q in queries])
+        r = np.array([q[1] for q in queries])
+        rows, members, counts = index.known_tails(h, r)
+        for i, (qh, qr) in enumerate(queries):
+            got = sorted(members[rows == i].tolist())
+            assert got == self.brute_tails(store, qh, qr)
+            assert counts[i] == len(got)
+
+    def test_known_heads_matches_brute_force(self):
+        store = small_store()
+        index = store.filter_index
+        queries = [(r, t) for r in range(3) for t in range(4)]
+        r = np.array([q[0] for q in queries])
+        t = np.array([q[1] for q in queries])
+        rows, members, counts = index.known_heads(r, t)
+        for i, (qr, qt) in enumerate(queries):
+            got = sorted(members[rows == i].tolist())
+            assert got == self.brute_heads(store, qr, qt)
+            assert counts[i] == len(got)
+
+    def test_random_graph_matches_brute_force(self):
+        from repro.kg.datasets import generate_latent_kg
+        store = generate_latent_kg(30, 4, 200, seed=7)
+        index = store.filter_index
+        rng = np.random.default_rng(0)
+        h = rng.integers(0, 30, 64)
+        r = rng.integers(0, 4, 64)
+        rows, members, counts = index.known_tails(h, r)
+        for i in range(64):
+            got = sorted(members[rows == i].tolist())
+            assert got == self.brute_tails(store, int(h[i]), int(r[i]))
+
+    def test_missing_key_yields_empty_list(self):
+        store = small_store()
+        rows, members, counts = store.filter_index.known_tails(
+            np.array([3]), np.array([2]))
+        assert len(rows) == 0 and len(members) == 0
+        np.testing.assert_array_equal(counts, [0])
+
+    def test_empty_query_batch(self):
+        store = small_store()
+        rows, members, counts = store.filter_index.known_tails(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert len(rows) == 0 and len(members) == 0 and len(counts) == 0
+
+    def test_cached_on_store(self):
+        store = small_store()
+        assert store.filter_index is store.filter_index
+
+    def test_counts_deduplicate_across_splits(self):
+        """A fact present in two splits must count once."""
+        train = TripleSet.from_array(np.array([[0, 0, 1], [0, 0, 2]]))
+        valid = TripleSet.from_array(np.array([[0, 0, 1]]))
+        test = TripleSet.from_array(np.array([[1, 0, 0]]))
+        store = TripleStore(n_entities=3, n_relations=1, train=train,
+                            valid=valid, test=test)
+        assert store.filter_index.n_triples == 3
+        _, members, counts = store.filter_index.known_tails(
+            np.array([0]), np.array([0]))
+        np.testing.assert_array_equal(np.sort(members), [1, 2])
+        np.testing.assert_array_equal(counts, [2])
+
+    def test_nbytes_reported(self):
+        store = small_store()
+        assert store.filter_index.nbytes > 0

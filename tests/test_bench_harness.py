@@ -136,3 +136,38 @@ class TestPaperConstants:
                     "fig4", "fig5", "fig6a", "fig6b", "fig7", "fig8",
                     "fig9"):
             assert fig in paper.CLAIMS
+
+
+class TestEvalTable:
+    def test_eval_summary_row_columns(self):
+        from repro.bench.harness import eval_summary_row
+        from repro.training.metrics import TrainResult
+        r = TrainResult("DRS+1-bit", 4, 10, 100.0, 0.4,
+                        eval_seconds=2.0, eval_queries=500)
+        row = eval_summary_row(r)
+        assert row == {"method": "DRS+1-bit", "nodes": 4,
+                       "eval_seconds": 2.0, "eval_queries": 500,
+                       "queries_per_sec": 250.0}
+
+    def test_print_eval_table_output(self, capsys):
+        from repro.bench.harness import print_eval_table
+        from repro.training.metrics import TrainResult
+        results = [TrainResult("allreduce", 2, 10, 100.0, 0.4,
+                               eval_seconds=1.0, eval_queries=200)]
+        print_eval_table("eval throughput", results)
+        out = capsys.readouterr().out
+        assert "eval throughput" in out
+        assert "q/s" in out
+        assert "200.0" in out
+
+    def test_trainer_populates_eval_fields(self):
+        from repro.kg.datasets import make_tiny_kg
+        from repro.training.trainer import DistributedTrainer
+        store = make_tiny_kg()
+        cfg = TrainConfig(dim=8, batch_size=128, max_epochs=2, lr_patience=5,
+                          eval_max_queries=20)
+        result = DistributedTrainer(store, baseline_allreduce(1), 1,
+                                    config=cfg).run()
+        assert result.eval_seconds > 0.0
+        assert result.eval_queries > 0
+        assert result.eval_queries_per_sec > 0.0

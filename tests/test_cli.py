@@ -89,3 +89,37 @@ class TestMain:
     def test_bad_faults_spec_raises(self, tmp_path):
         with pytest.raises(ValueError):
             main(self._args(tmp_path, ["--faults", "frobnicate=1"]))
+
+
+class TestEvalKnobs:
+    def _args(self, tmp_path, extra=()):
+        store = make_tiny_kg()
+        path = str(tmp_path / "kg.npz")
+        save_store(store, path)
+        return ["--dataset-file", path, "--dim", "8", "--batch-size", "128",
+                "--max-epochs", "2", "--patience", "5", "--warmup", "0",
+                *extra]
+
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.filter_impl == "csr"
+        assert args.eval_chunk_entities is None
+
+    def test_unknown_filter_impl_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--filter-impl", "bitmap"])
+
+    def test_json_reports_eval_throughput(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, ["--json"]))
+        assert rc == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["eval_seconds"] > 0
+        assert row["eval_queries_per_sec"] > 0
+
+    def test_naive_impl_and_chunking_run(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, ["--filter-impl", "naive",
+                                        "--eval-chunk-entities", "7",
+                                        "--json"]))
+        assert rc == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["eval_seconds"] > 0

@@ -61,3 +61,49 @@ class TestEpochLog:
         assert log.epoch == 5
         assert log.comm_mode == "allgather"
         assert log.eval_time == 1.5
+
+
+class TestEvalTimer:
+    def test_measure_accumulates(self):
+        from repro.training.metrics import EvalTimer
+        timer = EvalTimer()
+        with timer.measure():
+            sum(range(1000))
+        with timer.measure():
+            pass
+        assert timer.seconds > 0.0
+
+    def test_measure_charges_on_exception(self):
+        from repro.training.metrics import EvalTimer
+        timer = EvalTimer()
+        with pytest.raises(RuntimeError):
+            with timer.measure():
+                raise RuntimeError("boom")
+        assert timer.seconds > 0.0
+
+    def test_count_and_throughput(self):
+        from repro.training.metrics import EvalTimer
+        timer = EvalTimer()
+        with timer.measure():
+            sum(range(10000))
+        timer.count(500)
+        assert timer.queries == 500
+        assert timer.queries_per_sec == pytest.approx(500 / timer.seconds)
+
+    def test_zero_time_throughput_is_zero(self):
+        from repro.training.metrics import EvalTimer
+        timer = EvalTimer()
+        timer.count(10)
+        assert timer.queries_per_sec == 0.0
+
+
+class TestEvalFieldsOnResult:
+    def test_defaults(self):
+        r = TrainResult("x", 1, 0, 0.0, float("nan"))
+        assert r.eval_seconds == 0.0 and r.eval_queries == 0
+        assert r.eval_queries_per_sec == 0.0
+
+    def test_queries_per_sec(self):
+        r = TrainResult("x", 1, 0, 0.0, float("nan"),
+                        eval_seconds=2.0, eval_queries=100)
+        assert r.eval_queries_per_sec == pytest.approx(50.0)
