@@ -59,10 +59,14 @@ from .models import ComplEx, DistMult, RotatE, TransE, make_model
 from .optim import Adam, PlateauScheduler, scaled_initial_lr
 from .training import (
     PRESETS,
+    CheckpointConfigMismatchError,
+    CheckpointError,
     DistributedTrainer,
     StrategyConfig,
     TrainConfig,
     TrainResult,
+    latest_checkpoint,
+    load_checkpoint,
     baseline_allgather,
     baseline_allreduce,
     drs,
@@ -78,6 +82,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Adam",
+    "CheckpointConfigMismatchError",
+    "CheckpointError",
     "Cluster",
     "CollectiveFaultError",
     "ComplEx",
@@ -106,6 +112,8 @@ __all__ = [
     "evaluate_classification",
     "evaluate_ranking",
     "generate_latent_kg",
+    "latest_checkpoint",
+    "load_checkpoint",
     "make_fb15k_like",
     "make_fb250k_like",
     "make_model",

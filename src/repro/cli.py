@@ -16,6 +16,12 @@ Run a chaos scenario (one 3x straggler, 5% message drop, dense fallback)::
 
     python -m repro --strategy DRS+1-bit+RP+SS --nodes 4 \
         --faults "straggler=2:3.0,drop=0.05,policy=fallback-dense"
+
+Checkpoint every 5 epochs, then resume bitwise-exactly after a crash::
+
+    python -m repro --strategy DRS+1-bit+RP+SS --nodes 4 \
+        --checkpoint-dir ckpts --checkpoint-every 5
+    python -m repro --strategy DRS+1-bit+RP+SS --nodes 4 --resume ckpts
 """
 
 from __future__ import annotations
@@ -29,8 +35,9 @@ from .comm.faults import FaultPlan
 from .eval.ranking import FILTER_IMPLS
 from .config import DEFAULT_SEED
 from .kg.datasets import load_store, make_fb15k_like, make_fb250k_like
+from .training.checkpoint import CheckpointError
 from .training.strategy import PRESETS
-from .training.trainer import TrainConfig, train
+from .training.trainer import DistributedTrainer, TrainConfig
 
 DATASETS = {"fb15k": make_fb15k_like, "fb250k": make_fb250k_like}
 
@@ -77,6 +84,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="chaos scenario, e.g. 'drop=0.05,corrupt=0.01,"
                              "jitter=0.2,straggler=2:3.0,policy=fallback-dense'"
                              " (see repro.comm.faults.FaultPlan.parse)")
+    parser.add_argument("--checkpoint-dir", metavar="DIR",
+                        help="write versioned checkpoints under DIR and "
+                             "flush the last completed epoch if a fail-fast "
+                             "fault kills the run")
+    parser.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                        help="with --checkpoint-dir: checkpoint every N "
+                             "completed epochs (default: 1)")
+    parser.add_argument("--resume", metavar="PATH",
+                        help="resume bitwise-exactly from a checkpoint "
+                             "directory (or the newest checkpoint under "
+                             "PATH); all settings except --max-epochs and "
+                             "the checkpoint flags must match the "
+                             "interrupted run")
     parser.add_argument("--json", action="store_true",
                         help="emit the summary as JSON instead of text")
     return parser
@@ -99,7 +119,10 @@ def main(argv: list[str] | None = None) -> int:
                          lr_warmup_epochs=args.warmup, seed=args.seed,
                          eval_filter_impl=args.filter_impl,
                          eval_chunk_entities=args.eval_chunk_entities,
-                         time_scale=2.0e5)
+                         time_scale=2.0e5,
+                         checkpoint_dir=args.checkpoint_dir,
+                         checkpoint_every=(args.checkpoint_every
+                                           if args.checkpoint_dir else 0))
 
     faults = FaultPlan.parse(args.faults) if args.faults else None
 
@@ -108,8 +131,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"strategy: {args.strategy} on {args.nodes} simulated node(s)")
         if faults is not None:
             print(f"faults  : {faults.describe()}")
-    result = train(store, strategy, args.nodes, config=config,
-                   network=BENCH_NETWORK, faults=faults)
+    trainer = DistributedTrainer(store, strategy, args.nodes, config=config,
+                                 network=BENCH_NETWORK, faults=faults)
+    if args.resume:
+        try:
+            resumed_epoch = trainer.restore(args.resume)
+        except CheckpointError as exc:
+            print(f"error: cannot resume from {args.resume}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not args.json:
+            print(f"resume  : epoch {resumed_epoch} ({args.resume})")
+    result = trainer.run()
 
     row = result.summary_row()
     row.update(converged=result.converged,

@@ -6,7 +6,22 @@ from .baselines import (
     allreduce_time_per_step,
     parameter_server_time_per_step,
 )
+from .checkpoint import (
+    SCHEMA_VERSION,
+    CheckpointChecksumError,
+    CheckpointConfigMismatchError,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointMissingArrayError,
+    CheckpointSchemaError,
+    CheckpointState,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    write_checkpoint,
+)
 from .metrics import EpochLog, EvalTimer, TrainResult
+from .rng import selection_rng, trainer_rng, worker_rng
 from .strategy import (
     PRESETS,
     StrategyConfig,
@@ -23,17 +38,32 @@ from .trainer import DistributedTrainer, TrainConfig, train
 from .worker import StepOutput, Worker
 
 __all__ = [
+    "CheckpointChecksumError",
+    "CheckpointConfigMismatchError",
+    "CheckpointCorruptError",
+    "CheckpointError",
+    "CheckpointMissingArrayError",
+    "CheckpointSchemaError",
+    "CheckpointState",
     "DistributedTrainer",
     "EpochLog",
     "EvalTimer",
     "PRESETS",
     "ParameterServerTopology",
     "ParameterServerTrainer",
+    "SCHEMA_VERSION",
     "StepOutput",
     "StrategyConfig",
     "TrainConfig",
     "TrainResult",
     "Worker",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "load_checkpoint",
+    "selection_rng",
+    "trainer_rng",
+    "worker_rng",
+    "write_checkpoint",
     "allreduce_time_per_step",
     "baseline_allgather",
     "baseline_allreduce",

@@ -1,0 +1,507 @@
+"""Versioned checkpoint/resume with bitwise-deterministic recovery.
+
+A checkpoint is a directory holding exactly two files:
+
+``manifest.json``
+    Schema version, a config hash binding the snapshot to the run that
+    produced it, per-array SHA-256 checksums, and every piece of scalar
+    training state (scheduler, DRS switch state, RNG stream positions,
+    cumulative counters, the epoch logs so far).
+``state.npz``
+    Every array-valued piece of state: embeddings, full Adam moments,
+    error-feedback residuals, and the cluster's virtual clocks.
+
+The determinism contract
+------------------------
+
+Restoring a checkpoint into a freshly constructed trainer with the same
+configuration and calling :meth:`~repro.training.trainer.DistributedTrainer.run`
+produces **bitwise identical** results to the uninterrupted run: the same
+embeddings, the same epoch logs, the same DRS switch epoch, the same fault
+trajectory.  This holds because training state is *closed* over what the
+checkpoint captures — all randomness flows through the streams in
+:mod:`repro.training.rng` plus the fault injector's call counter, and both
+are snapshotted here.  (The only fields outside the contract are the real
+host wall-clock eval timings, which no two runs of anything share.)
+
+Both files are written deterministically — sorted keys, fixed zip
+timestamps, atomic renames — so saving, loading and re-saving a checkpoint
+is byte-identical, and a checkpoint can itself be checksummed or diffed.
+
+Failure modes are loud and distinct: a truncated or bit-flipped file raises
+:class:`CheckpointCorruptError` or :class:`CheckpointChecksumError`, an
+array missing from the npz raises :class:`CheckpointMissingArrayError`, a
+snapshot from an incompatible writer raises :class:`CheckpointSchemaError`,
+and a config-hash mismatch raises :class:`CheckpointConfigMismatchError`
+instead of silently resuming a different experiment.  ``max_epochs`` and the
+checkpoint knobs themselves are excluded from the hash, so a resume may
+train longer than the interrupted run intended.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+import os
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..comm.faults import FaultCounters
+from ..comm.simulator import CommStats
+from .metrics import EpochLog
+from .rng import rng_state, set_rng_state
+
+#: Bump on any incompatible change to the manifest or array layout.
+SCHEMA_VERSION = 1
+
+#: Marker distinguishing our manifests from arbitrary JSON files.
+FORMAT_NAME = "repro-checkpoint"
+
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "state.npz"
+
+
+class CheckpointError(RuntimeError):
+    """Base class for every checkpoint load/save failure."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file is unreadable (bad JSON, bad zip, torn write)."""
+
+
+class CheckpointChecksumError(CheckpointError):
+    """An array's content does not match its manifest SHA-256."""
+
+
+class CheckpointMissingArrayError(CheckpointError):
+    """The manifest declares an array that ``state.npz`` does not contain."""
+
+
+class CheckpointSchemaError(CheckpointError):
+    """The checkpoint was written under a different schema version."""
+
+
+class CheckpointConfigMismatchError(CheckpointError):
+    """The checkpoint belongs to a run with a different configuration."""
+
+
+@dataclass
+class CheckpointState:
+    """In-memory image of one checkpoint (captured or loaded)."""
+
+    #: Completed training epochs at capture time (0 = pristine trainer).
+    epoch: int
+    #: Array-valued state, keyed by manifest array name.
+    arrays: dict
+    #: JSON-serialisable scalar state (scheduler, DRS, RNG, counters, logs).
+    scalars: dict
+    #: Fingerprint of the run configuration that produced this state.
+    config_hash: str
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints and checksums
+# ---------------------------------------------------------------------------
+
+def _sha256_array(arr: np.ndarray) -> str:
+    """Digest of one array's dtype, shape and C-order bytes."""
+    arr = np.ascontiguousarray(arr)
+    digest = hashlib.sha256()
+    digest.update(arr.dtype.str.encode())
+    digest.update(repr(arr.shape).encode())
+    digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def store_fingerprint(store) -> str:
+    """Digest of a :class:`~repro.kg.triples.TripleStore`'s exact contents."""
+    digest = hashlib.sha256()
+    digest.update(repr((store.n_entities, store.n_relations)).encode())
+    for split in (store.train, store.valid, store.test):
+        digest.update(np.ascontiguousarray(split.to_array()).tobytes())
+    return digest.hexdigest()
+
+
+#: TrainConfig fields a resume is allowed to change: extending the epoch
+#: budget and re-pointing (or disabling) checkpointing do not perturb the
+#: training trajectory up to any given epoch.
+_RESUMABLE_CONFIG_FIELDS = ("max_epochs", "checkpoint_dir", "checkpoint_every")
+
+
+def config_fingerprint(store, strategy, n_nodes: int, config, network,
+                       faults) -> str:
+    """Hash everything that shapes the training trajectory.
+
+    Two trainers with equal fingerprints are guaranteed to walk identical
+    trajectories, so a checkpoint from one resumes bitwise-exactly on the
+    other.  A null fault plan hashes like no plan at all (they are
+    byte-identical at runtime).
+    """
+    cfg = dataclasses.asdict(config)
+    for key in _RESUMABLE_CONFIG_FIELDS:
+        cfg.pop(key, None)
+    plan = (None if faults is None or faults.is_null
+            else dataclasses.asdict(faults))
+    payload = {
+        "store": store_fingerprint(store),
+        "strategy": dataclasses.asdict(strategy),
+        "n_nodes": n_nodes,
+        "config": cfg,
+        "network": dataclasses.asdict(network),
+        "faults": plan,
+    }
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Capture / apply (the trainer <-> CheckpointState mapping lives here,
+# in one place, so the manifest schema has a single owner)
+# ---------------------------------------------------------------------------
+
+def capture_state(trainer) -> CheckpointState:
+    """Deep-copy everything a bitwise resume needs out of a trainer.
+
+    Must be called at an epoch boundary (the only points where trainer
+    state is consistent); the trainer does so after each completed epoch.
+    """
+    arrays: dict = {
+        "model/entity_emb": trainer.model.entity_emb.copy(),
+        "model/relation_emb": trainer.model.relation_emb.copy(),
+        "cluster/clocks": trainer.cluster.clocks.copy(),
+        "cluster/wait": trainer.cluster.wait_total.copy(),
+    }
+    for name, state in (("entity", trainer.optimizer.entity_state),
+                        ("relation", trainer.optimizer.relation_state)):
+        arrays[f"adam/{name}/m"] = state.m.copy()
+        arrays[f"adam/{name}/v"] = state.v.copy()
+        arrays[f"adam/{name}/steps"] = state.steps.copy()
+    for name, stores in (("entity", trainer._entity_residuals),
+                         ("relation", trainer._relation_residuals)):
+        if stores is None:
+            continue
+        for rank, store in enumerate(stores):
+            arrays[f"residual/{name}/{rank}/values"] = store._residual.copy()
+            arrays[f"residual/{name}/{rank}/dirty"] = store._dirty.copy()
+
+    sched = trainer.scheduler
+    drs = trainer._drs
+    result = trainer.result
+    stats = trainer.cluster.stats
+    injector = trainer.cluster.faults
+    timer = trainer.eval_timer
+    scalars = {
+        "scheduler": {
+            "lr": sched.lr, "best": sched.best,
+            "bad_epochs": sched.bad_epochs, "done": sched.done,
+            "n_decays": sched.n_decays, "epoch": sched.epoch,
+        },
+        "drs": {
+            "current": drs.current, "switched": drs.switched,
+            "last_allreduce_comm": drs.last_allreduce_comm,
+            "probes": drs.probes,
+        },
+        "rng": {
+            "trainer": rng_state(trainer.rng),
+            "selection": rng_state(trainer._sel_rng),
+            "workers": [rng_state(w.rng) for w in trainer.workers],
+        },
+        "result": {
+            "allreduce_steps": result.allreduce_steps,
+            "allgather_steps": result.allgather_steps,
+            "drs_switch_epoch": result.drs_switch_epoch,
+            "converged": result.converged,
+            "logs": [dataclasses.asdict(log) for log in result.logs],
+        },
+        "comm_stats": {
+            "calls": stats.calls, "nbytes_total": stats.nbytes_total,
+            "time_total": stats.time_total, "retries": stats.retries,
+            "by_op": {op: list(v) for op, v in stats.by_op.items()},
+        },
+        "fallbacks": trainer._fallbacks,
+        "faults": (None if injector is None else {
+            "calls": injector._calls,
+            "counters": dataclasses.asdict(injector.counters),
+        }),
+        "eval_timer": {
+            "seconds": timer.seconds, "queries": timer.queries,
+            "sections": timer.sections,
+        },
+    }
+    return CheckpointState(epoch=trainer._completed_epochs, arrays=arrays,
+                           scalars=scalars,
+                           config_hash=trainer.config_fingerprint())
+
+
+def apply_state(trainer, state: CheckpointState) -> None:
+    """Overwrite a freshly built trainer's state with a checkpoint's.
+
+    The caller has already verified ``state.config_hash`` matches the
+    trainer (:func:`load_checkpoint` / ``DistributedTrainer.restore``), so
+    shapes and worker counts line up by construction.
+    """
+    arrays = state.arrays
+    scalars = state.scalars
+
+    trainer.model.entity_emb = np.array(arrays["model/entity_emb"],
+                                        dtype=np.float32)
+    trainer.model.relation_emb = np.array(arrays["model/relation_emb"],
+                                          dtype=np.float32)
+    for name, opt in (("entity", trainer.optimizer.entity_state),
+                      ("relation", trainer.optimizer.relation_state)):
+        opt.m = np.array(arrays[f"adam/{name}/m"], dtype=np.float32)
+        opt.v = np.array(arrays[f"adam/{name}/v"], dtype=np.float32)
+        opt.steps = np.array(arrays[f"adam/{name}/steps"], dtype=np.int64)
+    for name, stores in (("entity", trainer._entity_residuals),
+                         ("relation", trainer._relation_residuals)):
+        if stores is None:
+            continue
+        for rank, store in enumerate(stores):
+            store._residual = np.array(arrays[f"residual/{name}/{rank}/values"],
+                                       dtype=np.float32)
+            store._dirty = np.array(arrays[f"residual/{name}/{rank}/dirty"],
+                                    dtype=bool)
+
+    cluster = trainer.cluster
+    cluster.clocks[:] = np.asarray(arrays["cluster/clocks"], dtype=np.float64)
+    cluster.wait_total[:] = np.asarray(arrays["cluster/wait"], dtype=np.float64)
+    cluster.records.clear()
+    comm = scalars["comm_stats"]
+    cluster.stats = CommStats(
+        calls=int(comm["calls"]), nbytes_total=int(comm["nbytes_total"]),
+        time_total=float(comm["time_total"]), retries=int(comm["retries"]),
+        by_op={op: [int(v[0]), int(v[1]), float(v[2])]
+               for op, v in comm["by_op"].items()})
+
+    sched = scalars["scheduler"]
+    trainer.scheduler.lr = float(sched["lr"])
+    trainer.scheduler.best = float(sched["best"])
+    trainer.scheduler.bad_epochs = int(sched["bad_epochs"])
+    trainer.scheduler.done = bool(sched["done"])
+    trainer.scheduler.n_decays = int(sched["n_decays"])
+    trainer.scheduler.epoch = int(sched["epoch"])
+
+    drs = scalars["drs"]
+    trainer._drs.current = str(drs["current"])
+    trainer._drs.switched = bool(drs["switched"])
+    trainer._drs.last_allreduce_comm = float(drs["last_allreduce_comm"])
+    trainer._drs.probes = int(drs["probes"])
+
+    rng = scalars["rng"]
+    if len(rng["workers"]) != len(trainer.workers):
+        raise CheckpointCorruptError(
+            f"checkpoint carries {len(rng['workers'])} worker RNG states "
+            f"for a {len(trainer.workers)}-worker trainer")
+    set_rng_state(trainer.rng, rng["trainer"])
+    set_rng_state(trainer._sel_rng, rng["selection"])
+    for worker, wstate in zip(trainer.workers, rng["workers"]):
+        set_rng_state(worker.rng, wstate)
+
+    partial = scalars["result"]
+    result = trainer.result
+    result.allreduce_steps = int(partial["allreduce_steps"])
+    result.allgather_steps = int(partial["allgather_steps"])
+    result.drs_switch_epoch = int(partial["drs_switch_epoch"])
+    result.converged = bool(partial["converged"])
+    result.logs = [EpochLog(**log) for log in partial["logs"]]
+
+    trainer._fallbacks = int(scalars["fallbacks"])
+    faults = scalars["faults"]
+    if (faults is None) != (cluster.faults is None):
+        raise CheckpointCorruptError(
+            "checkpoint fault-injector state does not match the trainer's "
+            "fault plan (the config hash should have caught this)")
+    if faults is not None:
+        cluster.faults._calls = int(faults["calls"])
+        cluster.faults.counters = FaultCounters(**{
+            k: int(v) for k, v in faults["counters"].items()})
+
+    timer = scalars["eval_timer"]
+    trainer.eval_timer.seconds = float(timer["seconds"])
+    trainer.eval_timer.queries = int(timer["queries"])
+    trainer.eval_timer.sections = int(timer["sections"])
+
+    trainer._completed_epochs = int(state.epoch)
+    trainer._last_snapshot = None
+
+
+# ---------------------------------------------------------------------------
+# Deterministic on-disk format
+# ---------------------------------------------------------------------------
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(payload)
+    os.replace(tmp, path)
+
+
+def _npz_bytes(arrays: dict) -> bytes:
+    """Serialise arrays as an npz with fully deterministic bytes.
+
+    ``np.savez`` stamps zip entries with the current time, so two saves of
+    identical state would differ; we write the container ourselves with
+    sorted entry order, a fixed 1980-01-01 timestamp and no compression.
+    The result is still a regular npz that ``np.load`` reads.
+    """
+    buf = io.BytesIO()
+    with zipfile.ZipFile(buf, "w", zipfile.ZIP_STORED, allowZip64=True) as zf:
+        for name in sorted(arrays):
+            payload = io.BytesIO()
+            np.lib.format.write_array(
+                payload, np.ascontiguousarray(arrays[name]),
+                allow_pickle=False)
+            info = zipfile.ZipInfo(name + ".npy",
+                                   date_time=(1980, 1, 1, 0, 0, 0))
+            info.compress_type = zipfile.ZIP_STORED
+            info.external_attr = 0o644 << 16
+            zf.writestr(info, payload.getvalue())
+    return buf.getvalue()
+
+
+def write_checkpoint(state: CheckpointState, path: str | Path) -> Path:
+    """Write one checkpoint directory (``manifest.json`` + ``state.npz``).
+
+    The npz lands first and the manifest last, each via an atomic rename,
+    so a directory containing a readable manifest is always complete — a
+    kill mid-write leaves at worst a manifest-less directory that
+    :func:`latest_checkpoint` ignores.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "format": FORMAT_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "config_hash": state.config_hash,
+        "epoch": state.epoch,
+        "arrays": {
+            name: {
+                "sha256": _sha256_array(arr),
+                "dtype": np.ascontiguousarray(arr).dtype.str,
+                "shape": list(np.shape(arr)),
+            }
+            for name, arr in state.arrays.items()
+        },
+        "state": state.scalars,
+    }
+    _atomic_write_bytes(path / ARRAYS_NAME, _npz_bytes(state.arrays))
+    text = json.dumps(manifest, sort_keys=True, indent=2) + "\n"
+    _atomic_write_bytes(path / MANIFEST_NAME, text.encode())
+    return path
+
+
+def load_checkpoint(path: str | Path,
+                    expected_config_hash: str | None = None
+                    ) -> CheckpointState:
+    """Load and fully validate one checkpoint directory.
+
+    Raises the most specific :class:`CheckpointError` subclass for each
+    failure mode (see module docstring).  When ``expected_config_hash`` is
+    given, a mismatch is rejected *before* any array is deserialised.
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise CheckpointError(
+            f"no checkpoint at {path}: missing {MANIFEST_NAME}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CheckpointCorruptError(
+            f"{manifest_path} is not valid JSON ({exc}); the checkpoint "
+            f"is corrupt or was torn mid-write") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_NAME:
+        raise CheckpointCorruptError(
+            f"{manifest_path} is not a {FORMAT_NAME} manifest")
+    version = manifest.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise CheckpointSchemaError(
+            f"checkpoint schema version {version!r} is not supported by "
+            f"this build (expected {SCHEMA_VERSION}); re-create the "
+            f"checkpoint with a matching version of repro")
+    config_hash = manifest.get("config_hash", "")
+    if expected_config_hash is not None and config_hash != expected_config_hash:
+        raise CheckpointConfigMismatchError(
+            f"checkpoint config hash {config_hash[:12]}... does not match "
+            f"this trainer's {expected_config_hash[:12]}...: the snapshot "
+            f"was written by a run with a different dataset, strategy, "
+            f"network, fault plan or TrainConfig.  Rebuild the trainer "
+            f"with the original settings to resume (only max_epochs and "
+            f"the checkpoint knobs may differ).")
+
+    npz_path = path / ARRAYS_NAME
+    if not npz_path.is_file():
+        raise CheckpointCorruptError(
+            f"checkpoint {path} has a manifest but no {ARRAYS_NAME}")
+    try:
+        with np.load(npz_path, allow_pickle=False) as data:
+            arrays = {name: np.array(data[name]) for name in data.files}
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointCorruptError(
+            f"cannot read {npz_path} ({exc}); the checkpoint is corrupt "
+            f"or was torn mid-write") from exc
+
+    declared = manifest.get("arrays", {})
+    missing = sorted(set(declared) - set(arrays))
+    if missing:
+        raise CheckpointMissingArrayError(
+            f"{npz_path} is missing declared array(s) {missing}; the "
+            f"checkpoint is incomplete")
+    undeclared = sorted(set(arrays) - set(declared))
+    if undeclared:
+        raise CheckpointCorruptError(
+            f"{npz_path} contains array(s) {undeclared} absent from the "
+            f"manifest; manifest and npz are out of sync")
+    for name, meta in sorted(declared.items()):
+        actual = _sha256_array(arrays[name])
+        if actual != meta.get("sha256"):
+            raise CheckpointChecksumError(
+                f"array {name!r} fails its SHA-256 check "
+                f"(manifest {str(meta.get('sha256'))[:12]}..., "
+                f"file {actual[:12]}...); the checkpoint is corrupt — "
+                f"resume from an earlier snapshot")
+
+    return CheckpointState(epoch=int(manifest["epoch"]), arrays=arrays,
+                           scalars=manifest["state"],
+                           config_hash=config_hash)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint discovery
+# ---------------------------------------------------------------------------
+
+def list_checkpoints(root: str | Path) -> list[tuple[int, Path]]:
+    """All readable checkpoints directly under ``root``: (epoch, path).
+
+    Sorted by (epoch, name).  Directories without a parseable manifest are
+    skipped — torn writes must not break discovery of older snapshots.
+    """
+    root = Path(root)
+    found: list[tuple[int, Path]] = []
+    if not root.is_dir():
+        return found
+    for child in sorted(root.iterdir()):
+        manifest_path = child / MANIFEST_NAME
+        if not manifest_path.is_file():
+            continue
+        try:
+            manifest = json.loads(manifest_path.read_text())
+            if manifest.get("format") != FORMAT_NAME:
+                continue
+            found.append((int(manifest["epoch"]), child))
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            continue
+    found.sort(key=lambda item: (item[0], item[1].name))
+    return found
+
+
+def latest_checkpoint(root: str | Path) -> Path | None:
+    """The highest-epoch checkpoint under ``root`` (None if there is none)."""
+    found = list_checkpoints(root)
+    return found[-1][1] if found else None

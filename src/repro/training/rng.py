@@ -1,0 +1,70 @@
+"""The single auditable home for every RNG stream training consumes.
+
+All training randomness derives from ``TrainConfig.seed`` through the
+derivations below and **nowhere else** — checkpointed RNG state is the only
+source of stream position, so a resumed run continues every stream exactly
+where the interrupted run left it (see :mod:`repro.training.checkpoint`).
+
+Streams
+-------
+
+=================  =======================================  ====================
+Stream             Seed derivation                          Consumers
+=================  =======================================  ====================
+trainer            ``default_rng(seed)``                    shard partitioning
+selection          ``default_rng((seed, 0xC0FFEE))``        gradient-row
+                                                            selection, 2-bit
+                                                            stochastic rounding
+worker ``rank``    ``default_rng((seed, rank))``            epoch shuffles,
+                                                            negative sampling
+=================  =======================================  ====================
+
+The selection stream constant ``0xC0FFEE`` (12648430) keeps it disjoint
+from every worker stream — worker ranks are cluster sizes, orders of
+magnitude below it.  One known coincidence: NumPy's ``SeedSequence``
+absorbs trailing zero entropy words, so ``default_rng(seed)`` and
+``default_rng((seed, 0))`` are the *same* stream — the trainer stream and
+worker rank 0 share a derivation.  This is harmless (the trainer stream is
+fully consumed at construction, before any worker draws) and kept for
+bitwise compatibility with existing runs and goldens.  The fault injector's streams are deliberately *not*
+here: they derive from ``FaultPlan.seed`` (independent of the training
+seed) and are positioned by the injector's call counter, which the
+checkpoint captures separately.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+#: Sub-seed of the gradient-selection stream (disjoint from worker ranks).
+SELECTION_STREAM = 0xC0FFEE
+
+
+def trainer_rng(seed: int) -> np.random.Generator:
+    """The trainer's own stream (consumed once, by shard partitioning)."""
+    return np.random.default_rng(seed)
+
+
+def selection_rng(seed: int) -> np.random.Generator:
+    """The gradient-selection / stochastic-quantization stream."""
+    return np.random.default_rng((seed, SELECTION_STREAM))
+
+
+def worker_rng(seed: int, rank: int) -> np.random.Generator:
+    """One worker's private stream (shuffles and negative draws)."""
+    if rank < 0 or rank >= SELECTION_STREAM:
+        raise ValueError(
+            f"worker rank must be in [0, {SELECTION_STREAM}), got {rank}")
+    return np.random.default_rng((seed, rank))
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """JSON-serialisable snapshot of a generator's exact stream position."""
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a generator to a position captured by :func:`rng_state`."""
+    rng.bit_generator.state = copy.deepcopy(state)

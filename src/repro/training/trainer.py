@@ -26,11 +26,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from ..comm import collectives
-from ..comm.faults import CollectiveGaveUp, FaultPlan
+from ..comm.faults import CollectiveFaultError, CollectiveGaveUp, FaultPlan
 from ..comm.network import DEFAULT_NETWORK, NetworkModel
 from ..comm.payload import dense_bytes
 from ..comm.simulator import Cluster
@@ -48,7 +49,9 @@ from ..kg.triples import TripleStore
 from ..models import make_model
 from ..optim.adam import Adam
 from ..optim.lr_schedule import PlateauScheduler, scaled_initial_lr
+from . import checkpoint as ckpt
 from .metrics import EpochLog, EvalTimer, TrainResult
+from .rng import selection_rng, trainer_rng
 from .strategy import StrategyConfig
 from .worker import Worker
 
@@ -92,6 +95,15 @@ class TrainConfig:
     #: hours, letting scaled-down runs report paper-magnitude numbers.
     time_scale: float = 1.0
 
+    #: Directory for checkpoints (None = checkpointing off).  With a
+    #: directory set, the trainer also snapshots every completed epoch in
+    #: memory and writes that snapshot out when a fail-fast collective
+    #: fault kills the run, so a crash never costs more than one epoch.
+    checkpoint_dir: str | None = None
+    #: Write a checkpoint every N completed epochs (0 = only the
+    #: crash-time snapshot).  Requires ``checkpoint_dir``.
+    checkpoint_every: int = 0
+
     def __post_init__(self) -> None:
         if self.dim < 1 or self.batch_size < 1 or self.max_epochs < 1:
             raise ValueError("dim, batch_size and max_epochs must be >= 1")
@@ -109,6 +121,12 @@ class TrainConfig:
             raise ValueError(
                 f"eval_chunk_entities must be >= 1 or None, "
                 f"got {self.eval_chunk_entities}")
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}")
+        if self.checkpoint_every and not self.checkpoint_dir:
+            raise ValueError(
+                "checkpoint_every requires checkpoint_dir to be set")
 
 
 @dataclass
@@ -164,7 +182,9 @@ class DistributedTrainer:
         self.model = make_model(cfg.model_name, store.n_entities,
                                 store.n_relations, cfg.dim, seed=cfg.seed)
         self.optimizer = Adam(self.model)
-        self.rng = np.random.default_rng(cfg.seed)
+        # All RNG streams derive from cfg.seed via repro.training.rng —
+        # the checkpoint layer snapshots their exact positions.
+        self.rng = trainer_rng(cfg.seed)
 
         if strategy.relation_partition and n_nodes > 1:
             part = relation_partition(store.train, n_nodes)
@@ -218,7 +238,59 @@ class DistributedTrainer:
             }
         else:
             self._projections = None
-        self._sel_rng = np.random.default_rng((cfg.seed, 0xC0FFEE))
+        self._sel_rng = selection_rng(cfg.seed)
+
+        #: The (partial, then final) outcome of this trainer's run.  Lives
+        #: on the instance so checkpoints can capture cumulative counters
+        #: and epoch logs, and a restored trainer can keep appending.
+        self.result = TrainResult(strategy_label=strategy.label(),
+                                  n_nodes=n_nodes, epochs=0, total_time=0.0,
+                                  final_val_mrr=float("nan"))
+        self._completed_epochs = 0
+        self._last_snapshot: ckpt.CheckpointState | None = None
+        self._config_hash: str | None = None
+
+    # -- checkpoint/resume ---------------------------------------------
+
+    def config_fingerprint(self) -> str:
+        """Hash of everything that shapes this trainer's trajectory.
+
+        Binds checkpoints to the run configuration; see
+        :func:`repro.training.checkpoint.config_fingerprint`.
+        """
+        if self._config_hash is None:
+            self._config_hash = ckpt.config_fingerprint(
+                self.store, self.strategy, self.n_nodes, self.config,
+                self.network, self.faults)
+        return self._config_hash
+
+    def save_checkpoint(self, path: str | Path) -> Path:
+        """Snapshot the complete training state into ``path``.
+
+        Only meaningful at an epoch boundary (before :meth:`run`, or from
+        the epoch-driven checkpoint hooks inside it).
+        """
+        return ckpt.write_checkpoint(ckpt.capture_state(self), path)
+
+    def restore(self, path: str | Path) -> int:
+        """Load a checkpoint and arm :meth:`run` to continue from it.
+
+        ``path`` may be a checkpoint directory or a parent directory, in
+        which case the highest-epoch checkpoint under it is used.  The
+        checkpoint must carry this trainer's config fingerprint
+        (:class:`~repro.training.checkpoint.CheckpointConfigMismatchError`
+        otherwise); returns the epoch training will resume after.
+        """
+        path = Path(path)
+        if not (path / ckpt.MANIFEST_NAME).is_file():
+            found = ckpt.latest_checkpoint(path)
+            if found is None:
+                raise ckpt.CheckpointError(f"no checkpoint found under {path}")
+            path = found
+        state = ckpt.load_checkpoint(
+            path, expected_config_hash=self.config_fingerprint())
+        ckpt.apply_state(self, state)
+        return state.epoch
 
     # ------------------------------------------------------------------
 
@@ -359,116 +431,44 @@ class DistributedTrainer:
     # ------------------------------------------------------------------
 
     def run(self) -> TrainResult:
-        """Train to the plateau-scheduler stopping point; evaluate on test."""
+        """Train to the plateau-scheduler stopping point; evaluate on test.
+
+        Starts from epoch 1 on a fresh trainer, or from the epoch after a
+        checkpoint restored via :meth:`restore` — the resumed trajectory is
+        bitwise identical to the uninterrupted one.  With
+        ``TrainConfig.checkpoint_dir`` set, a checkpoint is written every
+        ``checkpoint_every`` completed epochs, and the last completed
+        epoch's snapshot is flushed to disk if a fail-fast collective fault
+        aborts the run.
+        """
         cfg = self.config
-        strategy = self.strategy
-        result = TrainResult(strategy_label=strategy.label(),
-                             n_nodes=self.n_nodes, epochs=0, total_time=0.0,
-                             final_val_mrr=float("nan"))
+        result = self.result
+        ckpt_dir = Path(cfg.checkpoint_dir) if cfg.checkpoint_dir else None
+        if ckpt_dir is not None and self._last_snapshot is None:
+            # Pre-epoch snapshot: even a first-epoch crash leaves a
+            # resumable epoch-0 (or resume-point) checkpoint behind.
+            self._last_snapshot = ckpt.capture_state(self)
 
-        zero_tol = cfg.zero_row_tol
-        ss_warmup = (cfg.lr_warmup_epochs if cfg.ss_warmup_epochs < 0
-                     else cfg.ss_warmup_epochs)
-        for epoch in range(1, cfg.max_epochs + 1):
-            ss_active = epoch > ss_warmup
-            mode = self._epoch_mode(epoch)
-            epoch_start = self.cluster.elapsed
-            comm_before = self.cluster.stats.time_total
-            bytes_before = self.cluster.stats.nbytes_total
-
-            for w in self.workers:
-                w.start_epoch()
-
-            epoch_loss = 0.0
-            nonzero_rows_sum = 0.0
-            sparsity_sum = 0.0
-            for step in range(self.steps_per_epoch):
-                outputs = [w.compute_step(self.model, step, cfg.batch_size,
-                                          ss_active=ss_active)
-                           for w in self.workers]
-                for rank, out in enumerate(outputs):
-                    if cfg.compute_time_mode == "measured":
-                        self.cluster.advance_compute(rank, out.wall_seconds)
-                    else:
-                        self.cluster.advance_compute(
-                            rank, self.network.compute_time(out.flops))
-                epoch_loss += float(np.mean([o.loss for o in outputs]))
-                nonzero_rows_sum += float(
-                    np.mean([o.nonzero_entity_rows for o in outputs]))
-
-                # Entity gradients always travel; drop numerically-zero rows
-                # on the gather path (the baseline's sparse updates).
-                entity_parts = [
-                    o.entity_grad if mode == "allreduce" else
-                    o.entity_grad.select(
-                        np.linalg.norm(o.entity_grad.values, axis=1) > zero_tol)
-                    for o in outputs
-                ]
-                entity_combined, sparsity = self._communicate(
-                    entity_parts, mode, self.store.n_entities,
-                    residuals=self._entity_residuals)
-                sparsity_sum += sparsity
-                entity_combined = entity_combined.scale(1.0 / self.n_nodes)
-                self.optimizer.entity_state.apply_sparse(
-                    self.model.entity_emb, entity_combined, self.scheduler.lr)
-
-                if strategy.relation_partition and self.n_nodes > 1:
-                    # Relations are disjoint across ranks: each rank applies
-                    # its own full-precision gradient, no communication.
-                    # Scaled by 1/p so the update magnitude matches the
-                    # baseline's gradient *averaging* exactly: with disjoint
-                    # relations, the averaged allreduce gradient for a row
-                    # is precisely (owner gradient) / p, so relation
-                    # partition is semantically lossless, not a p-times lr
-                    # inflation on relation rows.
-                    for o in outputs:
-                        self.optimizer.relation_state.apply_sparse(
-                            self.model.relation_emb,
-                            o.relation_grad.scale(1.0 / self.n_nodes),
-                            self.scheduler.lr)
-                else:
-                    relation_parts = [o.relation_grad for o in outputs]
-                    relation_combined, _ = self._communicate(
-                        relation_parts, mode, self.store.n_relations,
-                        residuals=self._relation_residuals)
-                    relation_combined = relation_combined.scale(
-                        1.0 / self.n_nodes)
-                    self.optimizer.relation_state.apply_sparse(
-                        self.model.relation_emb, relation_combined,
-                        self.scheduler.lr)
-
-                if mode == "allreduce":
-                    result.allreduce_steps += 1
-                else:
-                    result.allgather_steps += 1
-
-            comm_time = self.cluster.stats.time_total - comm_before
-            val_mrr, eval_time = self._evaluate_validation()
-            if cfg.include_eval_time:
-                self.cluster.advance_compute_all(eval_time)
-            epoch_time = self.cluster.elapsed - epoch_start
-            compute_time = epoch_time - comm_time - (
-                eval_time if cfg.include_eval_time else 0.0)
-
-            lr_used = self.scheduler.lr
-            self.scheduler.step(val_mrr)
-            if strategy.comm_mode == "dynamic":
-                self._drs.observe(mode, comm_time)
-                if self._drs.switched and result.drs_switch_epoch == 0:
-                    result.drs_switch_epoch = epoch
-
-            result.logs.append(EpochLog(
-                epoch=epoch, loss=epoch_loss / self.steps_per_epoch,
-                val_mrr=val_mrr, lr=lr_used, comm_mode=mode,
-                epoch_time=epoch_time, compute_time=compute_time,
-                comm_time=comm_time,
-                bytes_communicated=self.cluster.stats.nbytes_total - bytes_before,
-                nonzero_entity_rows=nonzero_rows_sum / self.steps_per_epoch,
-                selection_sparsity=sparsity_sum / self.steps_per_epoch,
-                eval_time=eval_time))
-
+        for epoch in range(self._completed_epochs + 1, cfg.max_epochs + 1):
             if self.scheduler.done:
-                result.converged = True
+                # Restored from a checkpoint of an already-converged run:
+                # the uninterrupted run never trained this epoch either.
+                break
+            try:
+                self._run_epoch(epoch)
+            except CollectiveFaultError:
+                if ckpt_dir is not None and self._last_snapshot is not None:
+                    ckpt.write_checkpoint(
+                        self._last_snapshot,
+                        ckpt_dir / f"failure-epoch-{self._last_snapshot.epoch:04d}")
+                raise
+            self._completed_epochs = epoch
+            if ckpt_dir is not None:
+                self._last_snapshot = ckpt.capture_state(self)
+                if cfg.checkpoint_every and epoch % cfg.checkpoint_every == 0:
+                    ckpt.write_checkpoint(self._last_snapshot,
+                                          ckpt_dir / f"epoch-{epoch:04d}")
+            if self.scheduler.done:
                 break
 
         result.epochs = len(result.logs)
@@ -491,11 +491,128 @@ class DistributedTrainer:
         result.eval_queries = self.eval_timer.queries
         return result
 
+    def _run_epoch(self, epoch: int) -> None:
+        """One full synchronous epoch: steps, validation, scheduling, log."""
+        cfg = self.config
+        strategy = self.strategy
+        result = self.result
+        zero_tol = cfg.zero_row_tol
+        ss_warmup = (cfg.lr_warmup_epochs if cfg.ss_warmup_epochs < 0
+                     else cfg.ss_warmup_epochs)
+        ss_active = epoch > ss_warmup
+        mode = self._epoch_mode(epoch)
+        epoch_start = self.cluster.elapsed
+        comm_before = self.cluster.stats.time_total
+        bytes_before = self.cluster.stats.nbytes_total
+
+        for w in self.workers:
+            w.start_epoch()
+
+        epoch_loss = 0.0
+        nonzero_rows_sum = 0.0
+        sparsity_sum = 0.0
+        for step in range(self.steps_per_epoch):
+            outputs = [w.compute_step(self.model, step, cfg.batch_size,
+                                      ss_active=ss_active)
+                       for w in self.workers]
+            for rank, out in enumerate(outputs):
+                if cfg.compute_time_mode == "measured":
+                    self.cluster.advance_compute(rank, out.wall_seconds)
+                else:
+                    self.cluster.advance_compute(
+                        rank, self.network.compute_time(out.flops))
+            epoch_loss += float(np.mean([o.loss for o in outputs]))
+            nonzero_rows_sum += float(
+                np.mean([o.nonzero_entity_rows for o in outputs]))
+
+            # Entity gradients always travel; drop numerically-zero rows
+            # on the gather path (the baseline's sparse updates).
+            entity_parts = [
+                o.entity_grad if mode == "allreduce" else
+                o.entity_grad.select(
+                    np.linalg.norm(o.entity_grad.values, axis=1) > zero_tol)
+                for o in outputs
+            ]
+            entity_combined, sparsity = self._communicate(
+                entity_parts, mode, self.store.n_entities,
+                residuals=self._entity_residuals)
+            sparsity_sum += sparsity
+            entity_combined = entity_combined.scale(1.0 / self.n_nodes)
+            self.optimizer.entity_state.apply_sparse(
+                self.model.entity_emb, entity_combined, self.scheduler.lr)
+
+            if strategy.relation_partition and self.n_nodes > 1:
+                # Relations are disjoint across ranks: each rank applies
+                # its own full-precision gradient, no communication.
+                # Scaled by 1/p so the update magnitude matches the
+                # baseline's gradient *averaging* exactly: with disjoint
+                # relations, the averaged allreduce gradient for a row
+                # is precisely (owner gradient) / p, so relation
+                # partition is semantically lossless, not a p-times lr
+                # inflation on relation rows.
+                for o in outputs:
+                    self.optimizer.relation_state.apply_sparse(
+                        self.model.relation_emb,
+                        o.relation_grad.scale(1.0 / self.n_nodes),
+                        self.scheduler.lr)
+            else:
+                relation_parts = [o.relation_grad for o in outputs]
+                relation_combined, _ = self._communicate(
+                    relation_parts, mode, self.store.n_relations,
+                    residuals=self._relation_residuals)
+                relation_combined = relation_combined.scale(
+                    1.0 / self.n_nodes)
+                self.optimizer.relation_state.apply_sparse(
+                    self.model.relation_emb, relation_combined,
+                    self.scheduler.lr)
+
+            if mode == "allreduce":
+                result.allreduce_steps += 1
+            else:
+                result.allgather_steps += 1
+
+        comm_time = self.cluster.stats.time_total - comm_before
+        val_mrr, eval_time = self._evaluate_validation()
+        if cfg.include_eval_time:
+            self.cluster.advance_compute_all(eval_time)
+        epoch_time = self.cluster.elapsed - epoch_start
+        compute_time = epoch_time - comm_time - (
+            eval_time if cfg.include_eval_time else 0.0)
+
+        lr_used = self.scheduler.lr
+        self.scheduler.step(val_mrr)
+        if strategy.comm_mode == "dynamic":
+            self._drs.observe(mode, comm_time)
+            if self._drs.switched and result.drs_switch_epoch == 0:
+                result.drs_switch_epoch = epoch
+
+        result.logs.append(EpochLog(
+            epoch=epoch, loss=epoch_loss / self.steps_per_epoch,
+            val_mrr=val_mrr, lr=lr_used, comm_mode=mode,
+            epoch_time=epoch_time, compute_time=compute_time,
+            comm_time=comm_time,
+            bytes_communicated=self.cluster.stats.nbytes_total - bytes_before,
+            nonzero_entity_rows=nonzero_rows_sum / self.steps_per_epoch,
+            selection_sparsity=sparsity_sum / self.steps_per_epoch,
+            eval_time=eval_time))
+
+        if self.scheduler.done:
+            result.converged = True
+
 
 def train(store: TripleStore, strategy: StrategyConfig, n_nodes: int = 1,
           config: TrainConfig | None = None,
           network: NetworkModel | None = None,
-          faults: FaultPlan | None = None) -> TrainResult:
-    """Convenience one-call API: build a trainer and run it."""
-    return DistributedTrainer(store, strategy, n_nodes, config=config,
-                              network=network, faults=faults).run()
+          faults: FaultPlan | None = None,
+          resume_from: str | Path | None = None) -> TrainResult:
+    """Convenience one-call API: build a trainer and run it.
+
+    ``resume_from`` restores a checkpoint (a checkpoint directory, or a
+    parent directory whose newest checkpoint is taken) before running;
+    the resumed run is bitwise identical to an uninterrupted one.
+    """
+    trainer = DistributedTrainer(store, strategy, n_nodes, config=config,
+                                 network=network, faults=faults)
+    if resume_from is not None:
+        trainer.restore(resume_from)
+    return trainer.run()

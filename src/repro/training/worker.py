@@ -19,6 +19,7 @@ from ..kg.negative import corrupt_batch, select_all, select_hardest
 from ..kg.triples import TripleSet, TripleStore
 from ..models.base import KGEModel
 from ..models.loss import logistic_loss
+from .rng import worker_rng
 from .strategy import StrategyConfig
 
 
@@ -53,7 +54,7 @@ class Worker:
         self.l2 = l2
         self.zero_row_tol = zero_row_tol
         self.store = store
-        self.rng = np.random.default_rng((seed, rank))
+        self.rng = worker_rng(seed, rank)
         self._order = np.arange(len(shard))
 
     def start_epoch(self) -> None:

@@ -1,6 +1,20 @@
 """Shared pytest configuration for the test suite."""
 
+import pytest
 from hypothesis import HealthCheck, settings
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/golden/*.json from the current code instead of "
+             "comparing against them (commit the result deliberately)")
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """True when the run should regenerate golden files, not check them."""
+    return request.config.getoption("--update-goldens")
 
 # Property tests exercise NumPy-heavy paths whose first call can be slow
 # (BLAS warmup) and run on shared CI machines; disable wall-clock deadlines

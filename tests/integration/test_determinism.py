@@ -4,13 +4,25 @@ The fault layer added RNG plumbing around the cluster and collectives; this
 guards that none of it leaks into existing fault-free paths: two runs with
 the same ``TrainConfig.seed`` must produce *identical* epoch logs and
 metrics, and a null fault plan must be indistinguishable from no plan.
+
+The second half covers the checkpoint subsystem's core contract: a run
+interrupted at epoch *k* and resumed from its checkpoint is **bitwise
+identical** to an uninterrupted run — same logs, same counters, same
+embedding bytes — across strategy combos, fault plans, and (via Hypothesis)
+randomly drawn seeds and interruption points.
 """
 
-import pytest
+import tempfile
+from dataclasses import replace
+from pathlib import Path
 
-from repro import FaultPlan, TrainConfig, train
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DistributedTrainer, FaultPlan, TrainConfig, train
 from repro.kg.datasets import make_tiny_kg
-from repro.training import drs_1bit_rp_ss, rs_1bit
+from repro.training import drs_1bit_rp_ss, latest_checkpoint, rs_1bit
 from repro.training.strategy import baseline_allreduce
 
 
@@ -67,3 +79,122 @@ def test_different_train_seeds_differ(store):
     a = train(store, baseline_allreduce(), 2, config=config(seed=1))
     b = train(store, baseline_allreduce(), 2, config=config(seed=2))
     assert a.series("loss") != b.series("loss")
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint/resume bitwise equivalence
+# ---------------------------------------------------------------------------
+
+def _drs_probe2():
+    return replace(drs_1bit_rp_ss(), drs_probe_interval=2)
+
+
+def _rs_1bit_ef():
+    return replace(rs_1bit(), error_feedback=True)
+
+
+#: label -> (strategy maker, nodes, fault plan)
+RESUME_COMBOS = {
+    "drs+faults": (
+        drs_1bit_rp_ss, 4,
+        FaultPlan(seed=99, drop_prob=0.02, compute_slowdown=((1, 2.0),),
+                  policy="fallback-dense")),
+    "drs-switch-epoch": (_drs_probe2, 4, None),
+    "rs-ef+jitter": (
+        _rs_1bit_ef, 2,
+        FaultPlan(seed=5, alpha_jitter=0.2, compute_slowdown=((0, 1.5),),
+                  policy="fallback-dense")),
+}
+
+
+def _straight_and_resumed(store, maker, n_nodes, faults, ckpt_root, *,
+                          seed=1234, kill_at=3, total=6):
+    """Run uninterrupted vs. killed-at-``kill_at``-then-resumed."""
+    cfg = dict(dim=8, batch_size=128, lr_patience=6, eval_max_queries=30,
+               seed=seed)
+    straight = DistributedTrainer(store, maker(), n_nodes,
+                                  config=TrainConfig(max_epochs=total, **cfg),
+                                  faults=faults)
+    straight.run()
+
+    # The "crash": train only to kill_at, checkpointing as we go ...
+    interrupted = DistributedTrainer(
+        store, maker(), n_nodes,
+        config=TrainConfig(max_epochs=kill_at, checkpoint_dir=str(ckpt_root),
+                           checkpoint_every=1, **cfg),
+        faults=faults)
+    interrupted.run()
+    # ... then a brand-new process picks up the newest checkpoint.
+    resumed = DistributedTrainer(store, maker(), n_nodes,
+                                 config=TrainConfig(max_epochs=total, **cfg),
+                                 faults=faults)
+    assert resumed.restore(latest_checkpoint(ckpt_root)) == kill_at
+    resumed.run()
+    return straight, resumed
+
+
+@pytest.mark.parametrize("label", sorted(RESUME_COMBOS))
+def test_resume_is_bitwise_identical(store, tmp_path, label):
+    maker, n_nodes, faults = RESUME_COMBOS[label]
+    straight, resumed = _straight_and_resumed(store, maker, n_nodes, faults,
+                                              tmp_path)
+    assert_identical(straight.result, resumed.result)
+    assert straight.result.drs_switch_epoch == resumed.result.drs_switch_epoch
+    assert straight.result.comm_fallbacks == resumed.result.comm_fallbacks
+    assert straight.result.eval_queries == resumed.result.eval_queries
+    assert (straight.model.entity_emb.tobytes()
+            == resumed.model.entity_emb.tobytes())
+    assert (straight.model.relation_emb.tobytes()
+            == resumed.model.relation_emb.tobytes())
+
+
+def test_resume_crosses_the_drs_switch(store, tmp_path):
+    """Killing *before* the DRS probe epoch and resuming must reproduce the
+    same switch decision at the same epoch."""
+    straight, resumed = _straight_and_resumed(store, _drs_probe2, 4, None,
+                                              tmp_path, kill_at=1, total=6)
+    assert straight.result.drs_switch_epoch is not None
+    assert straight.result.drs_switch_epoch > 1
+    assert resumed.result.drs_switch_epoch == straight.result.drs_switch_epoch
+    assert_identical(straight.result, resumed.result)
+
+
+@settings(max_examples=5)
+@given(seed=st.integers(0, 2**20), kill_at=st.integers(1, 5),
+       which=st.sampled_from(sorted(RESUME_COMBOS)),
+       drop=st.sampled_from([0.0, 0.05]))
+def test_resume_equivalence_property(seed, kill_at, which, drop):
+    """Property form: for random seeds, interruption points, strategies and
+    fault intensities, resume-at-k == uninterrupted, bit for bit."""
+    store = make_tiny_kg()
+    maker, n_nodes, _ = RESUME_COMBOS[which]
+    faults = FaultPlan(seed=seed + 1, drop_prob=drop,
+                       policy="fallback-dense") if drop else None
+    with tempfile.TemporaryDirectory() as tmp:
+        straight, resumed = _straight_and_resumed(
+            store, maker, n_nodes, faults, Path(tmp),
+            seed=seed, kill_at=kill_at, total=6)
+    assert_identical(straight.result, resumed.result)
+    assert (straight.model.entity_emb.tobytes()
+            == resumed.model.entity_emb.tobytes())
+
+
+@settings(max_examples=5)
+@given(seed=st.integers(0, 2**20), epochs=st.integers(1, 3))
+def test_save_load_save_byte_identity_property(seed, epochs):
+    """Property form of the format guarantee: re-serialising a loaded
+    checkpoint reproduces the original files byte for byte."""
+    from repro.training.checkpoint import (
+        ARRAYS_NAME, MANIFEST_NAME, load_checkpoint, write_checkpoint)
+    store = make_tiny_kg()
+    trainer = DistributedTrainer(
+        store, drs_1bit_rp_ss(), 3,
+        config=TrainConfig(dim=8, batch_size=128, max_epochs=epochs,
+                           eval_max_queries=20, seed=seed))
+    trainer.run()
+    with tempfile.TemporaryDirectory() as tmp:
+        first = Path(tmp) / "first"
+        trainer.save_checkpoint(first)
+        second = write_checkpoint(load_checkpoint(first), Path(tmp) / "second")
+        for name in (MANIFEST_NAME, ARRAYS_NAME):
+            assert (second / name).read_bytes() == (first / name).read_bytes()
