@@ -40,6 +40,7 @@ from .comm import (
     CollectiveFaultError,
     FaultPlan,
     NetworkModel,
+    RankLossError,
     SparseRows,
 )
 from .config import DEFAULT_SEED, FB15K_SPEC, FB250K_SPEC
@@ -61,7 +62,9 @@ from .training import (
     PRESETS,
     CheckpointConfigMismatchError,
     CheckpointError,
+    CheckpointWorldMismatchError,
     DistributedTrainer,
+    ElasticSupervisor,
     StrategyConfig,
     TrainConfig,
     TrainResult,
@@ -76,6 +79,7 @@ from .training import (
     rs_1bit,
     rs_1bit_rp_ss,
     train,
+    train_elastic,
 )
 
 __version__ = "1.0.0"
@@ -84,18 +88,21 @@ __all__ = [
     "Adam",
     "CheckpointConfigMismatchError",
     "CheckpointError",
+    "CheckpointWorldMismatchError",
     "Cluster",
     "CollectiveFaultError",
     "ComplEx",
     "DEFAULT_SEED",
     "DistMult",
     "DistributedTrainer",
+    "ElasticSupervisor",
     "FB15K_SPEC",
     "FB250K_SPEC",
     "FaultPlan",
     "NetworkModel",
     "PRESETS",
     "PlateauScheduler",
+    "RankLossError",
     "RotatE",
     "SparseRows",
     "StrategyConfig",
@@ -125,5 +132,6 @@ __all__ = [
     "rs_1bit_rp_ss",
     "scaled_initial_lr",
     "train",
+    "train_elastic",
     "uniform_partition",
 ]

@@ -17,6 +17,7 @@ from ..comm.faults import FaultPlan
 from ..comm.network import NetworkModel
 from ..kg.datasets import make_fb15k_like, make_fb250k_like
 from ..kg.triples import TripleStore
+from ..training.elastic import ElasticSupervisor
 from ..training.strategy import StrategyConfig
 from ..training.trainer import DistributedTrainer, TrainConfig
 from ..training.metrics import TrainResult
@@ -48,16 +49,30 @@ def bench_store(which: str, scale: float | None = None,
 def run_once(store: TripleStore, strategy: StrategyConfig, n_nodes: int,
              config: TrainConfig | None = None,
              network: NetworkModel | None = None,
-             faults: FaultPlan | None = None) -> TrainResult:
-    """Train one configuration, memoised on its full parameterisation."""
+             faults: FaultPlan | None = None,
+             elastic: bool = False, max_restarts: int = 1,
+             allow_regrow: bool = False) -> TrainResult:
+    """Train one configuration, memoised on its full parameterisation.
+
+    With ``elastic``, the run goes through the
+    :class:`~repro.training.elastic.ElasticSupervisor` so planned rank
+    losses are recovered instead of fatal (the recovery overhead lands in
+    ``TrainResult.recovery_time``).
+    """
     config = config or train_config(active_profile())
     network = network or BENCH_NETWORK
     key = (id(store), strategy, n_nodes, tuple(sorted(vars(config).items())),
-           network, faults)
+           network, faults, elastic, max_restarts, allow_regrow)
     if key not in _RUN_CACHE:
-        _RUN_CACHE[key] = DistributedTrainer(
-            store, strategy, n_nodes, config=config, network=network,
-            faults=faults).run()
+        if elastic:
+            _RUN_CACHE[key] = ElasticSupervisor(
+                store, strategy, n_nodes, config=config, network=network,
+                faults=faults, max_restarts=max_restarts,
+                allow_regrow=allow_regrow).run()
+        else:
+            _RUN_CACHE[key] = DistributedTrainer(
+                store, strategy, n_nodes, config=config, network=network,
+                faults=faults).run()
     return _RUN_CACHE[key]
 
 
@@ -157,6 +172,36 @@ def print_eval_table(title: str, results: list[TrainResult]) -> None:
     print_table(title, header, rows,
                 widths=[max(len(r.strategy_label) for r in results) + 2,
                         5, 10, 9, 10])
+
+
+def elastic_summary_row(result: TrainResult) -> dict:
+    """Elastic-recovery columns of one run: restarts, lineage, overhead."""
+    overhead = (result.recovery_time / result.total_time
+                if result.total_time > 0 else 0.0)
+    return {
+        "method": result.strategy_label,
+        "nodes": result.n_nodes,
+        "restarts": result.restarts,
+        "world_lineage": "->".join(str(w) for w in result.world_lineage),
+        "recovery_hours": result.recovery_time / 3600.0,
+        "recovery_overhead": round(overhead, 4),
+    }
+
+
+def print_elastic_table(title: str, results: list[TrainResult]) -> None:
+    """Elastic report: recovery overhead next to the usual outcome columns."""
+    header = ["method", "nodes", "restarts", "lineage", "recovery(h)",
+              "overhead", "TT(h)", "MRR"]
+    rows = []
+    for res in results:
+        row = elastic_summary_row(res)
+        rows.append([row["method"], row["nodes"], row["restarts"],
+                     row["world_lineage"], row["recovery_hours"],
+                     row["recovery_overhead"], res.total_hours,
+                     res.test_mrr])
+    print_table(title, header, rows,
+                widths=[max(len(r.strategy_label) for r in results) + 2,
+                        5, 8, 10, 11, 9, 10, 10])
 
 
 def print_fault_table(title: str, results: list[TrainResult]) -> None:

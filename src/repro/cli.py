@@ -22,6 +22,14 @@ Checkpoint every 5 epochs, then resume bitwise-exactly after a crash::
     python -m repro --strategy DRS+1-bit+RP+SS --nodes 4 \
         --checkpoint-dir ckpts --checkpoint-every 5
     python -m repro --strategy DRS+1-bit+RP+SS --nodes 4 --resume ckpts
+
+Kill rank 2 at epoch 3 and recover automatically on the survivors::
+
+    python -m repro --strategy DRS+1-bit+RP+SS --nodes 4 \
+        --faults "rankloss=2:3" --elastic --max-restarts 2
+
+Exit codes: 0 success, 2 bad checkpoint resume, 3 training killed by an
+unrecovered collective fault or rank loss.
 """
 
 from __future__ import annotations
@@ -31,11 +39,12 @@ import json
 import sys
 
 from .bench.calibration import BENCH_NETWORK
-from .comm.faults import FaultPlan
+from .comm.faults import CollectiveFaultError, FaultPlan, RankLossError
 from .eval.ranking import FILTER_IMPLS
 from .config import DEFAULT_SEED
 from .kg.datasets import load_store, make_fb15k_like, make_fb250k_like
 from .training.checkpoint import CheckpointError
+from .training.elastic import ElasticSupervisor
 from .training.strategy import PRESETS
 from .training.trainer import DistributedTrainer, TrainConfig
 
@@ -91,6 +100,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
                         help="with --checkpoint-dir: checkpoint every N "
                              "completed epochs (default: 1)")
+    parser.add_argument("--checkpoint-keep", type=int, default=2, metavar="N",
+                        help="keep only the newest N routine checkpoints, "
+                             "pruning older ones; failure snapshots are "
+                             "always kept (0 = keep all; default: 2)")
+    parser.add_argument("--elastic", action="store_true",
+                        help="run under the elastic supervisor: recover "
+                             "from rankloss fault events by rolling back "
+                             "to the last completed epoch and continuing "
+                             "on the survivors")
+    parser.add_argument("--max-restarts", type=int, default=1, metavar="N",
+                        help="with --elastic: rank losses to survive before "
+                             "giving up (default: 1)")
+    parser.add_argument("--allow-regrow", action="store_true",
+                        help="with --elastic: re-admit a recovered rank at "
+                             "the next epoch boundary instead of finishing "
+                             "on the shrunk world")
     parser.add_argument("--resume", metavar="PATH",
                         help="resume bitwise-exactly from a checkpoint "
                              "directory (or the newest checkpoint under "
@@ -122,27 +147,63 @@ def main(argv: list[str] | None = None) -> int:
                          time_scale=2.0e5,
                          checkpoint_dir=args.checkpoint_dir,
                          checkpoint_every=(args.checkpoint_every
-                                           if args.checkpoint_dir else 0))
+                                           if args.checkpoint_dir else 0),
+                         checkpoint_keep=args.checkpoint_keep)
 
-    faults = FaultPlan.parse(args.faults) if args.faults else None
+    try:
+        faults = FaultPlan.parse(args.faults) if args.faults else None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     if not args.json:
         print(f"dataset : {store.summary()}")
         print(f"strategy: {args.strategy} on {args.nodes} simulated node(s)")
         if faults is not None:
             print(f"faults  : {faults.describe()}")
-    trainer = DistributedTrainer(store, strategy, args.nodes, config=config,
-                                 network=BENCH_NETWORK, faults=faults)
-    if args.resume:
-        try:
-            resumed_epoch = trainer.restore(args.resume)
-        except CheckpointError as exc:
-            print(f"error: cannot resume from {args.resume}: {exc}",
-                  file=sys.stderr)
-            return 2
-        if not args.json:
-            print(f"resume  : epoch {resumed_epoch} ({args.resume})")
-    result = trainer.run()
+        if args.elastic:
+            print(f"elastic : max_restarts={args.max_restarts} "
+                  f"regrow={'on' if args.allow_regrow else 'off'}")
+
+    if args.elastic:
+        supervisor = ElasticSupervisor(
+            store, strategy, args.nodes, config=config,
+            network=BENCH_NETWORK, faults=faults,
+            max_restarts=args.max_restarts,
+            allow_regrow=args.allow_regrow)
+        runner = supervisor.run
+    else:
+        trainer = DistributedTrainer(store, strategy, args.nodes,
+                                     config=config, network=BENCH_NETWORK,
+                                     faults=faults)
+        if args.resume:
+            try:
+                resumed_epoch = trainer.restore(args.resume)
+            except CheckpointError as exc:
+                print(f"error: cannot resume from {args.resume}: {exc}",
+                      file=sys.stderr)
+                return 2
+            if not args.json:
+                print(f"resume  : epoch {resumed_epoch} ({args.resume})")
+        runner = trainer.run
+    try:
+        result = runner()
+    except RankLossError as exc:
+        print(f"error: rank loss killed training "
+              f"(rank={exc.rank}, epoch={exc.epoch}): {exc}",
+              file=sys.stderr)
+        return 3
+    except CollectiveFaultError as exc:
+        print(f"error: collective fault killed training "
+              f"(collective={exc.op}, rank={exc.rank}, epoch={exc.epoch}): "
+              f"{exc}", file=sys.stderr)
+        return 3
+
+    if args.elastic and not args.json:
+        for event in result.recovery_log:
+            print(f"recovery: {event['action']} rank {event['rank']} at "
+                  f"epoch {event['epoch']} -> world {event['world_after']}, "
+                  f"resume epoch {event['resume_epoch']}")
 
     row = result.summary_row()
     row.update(converged=result.converged,
@@ -155,6 +216,11 @@ def main(argv: list[str] | None = None) -> int:
                    comm_fallbacks=result.comm_fallbacks,
                    straggler_skew=round(result.straggler_skew, 4),
                    drs_switch_epoch=result.drs_switch_epoch)
+    if args.elastic:
+        row.update(restarts=result.restarts,
+                   world_lineage=result.world_lineage,
+                   recovery_hours=result.recovery_time / 3600.0,
+                   recovery_log=result.recovery_log)
     if args.json:
         json.dump(row, sys.stdout, indent=2)
         print()

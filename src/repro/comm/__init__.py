@@ -16,6 +16,7 @@ from .faults import (
     CollectiveGaveUp,
     FaultInjector,
     FaultPlan,
+    RankLossError,
 )
 from .network import DEFAULT_NETWORK, NetworkModel
 from .payload import (
@@ -42,6 +43,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "HierarchicalNetwork",
+    "RankLossError",
     "TraceEvent",
     "DEFAULT_NETWORK",
     "NetworkModel",

@@ -133,15 +133,16 @@ def allgatherv_bytes(cluster: Cluster, block_bytes: Sequence[int],
 
 
 def allgather_sparse(cluster: Cluster, parts: Sequence[SparseRows],
-                     algo: str = "ring") -> SparseRows:
+                     algo: str = "ring",
+                     op_label: str = "allgather_sparse") -> SparseRows:
     """Allgather each rank's sparse gradient rows and combine them.
 
     Every rank receives everyone's ``(indices, values)`` blocks and locally
     sums rows with matching indices — the paper's "sparse update" path.
     """
-    _check_parts(cluster, parts, "allgather_sparse")
+    _check_parts(cluster, parts, op_label)
     allgatherv_bytes(cluster, [part.nbytes_wire for part in parts], algo=algo,
-                     op_label="allgather_sparse")
+                     op_label=op_label)
     return combine_sparse(parts)
 
 

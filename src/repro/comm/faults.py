@@ -59,7 +59,45 @@ _MAX_RETRY_ROUNDS = 10_000
 
 
 class CollectiveFaultError(RuntimeError):
-    """A collective exceeded its retry budget under the fail-fast policy."""
+    """A collective exceeded its retry budget under the fail-fast policy.
+
+    Carries structured context for diagnostics: ``op`` (the collective's
+    label), plus ``rank`` / ``epoch`` when the raising layer knows them
+    (the trainer annotates ``epoch`` on the way out).
+    """
+
+    op: str | None = None
+    rank: int | None = None
+    epoch: int | None = None
+
+
+class RankLossError(CollectiveFaultError):
+    """A rank was permanently lost (a ``rank_loss`` fault-plan event).
+
+    Unlike transient drops — which are retried until delivered — a rank
+    loss removes the member for good: the synchronous world cannot make
+    progress and the run must either abort or recover onto the survivors
+    (see :class:`repro.training.elastic.ElasticSupervisor`).
+
+    Attributes
+    ----------
+    rank:
+        The *global* rank id that died (stable across membership changes).
+    local_rank:
+        Its position in the current world at the time of death.
+    epoch:
+        The epoch whose start detected the loss.
+    """
+
+    def __init__(self, rank: int, epoch: int, local_rank: int | None = None):
+        super().__init__(
+            f"rank {rank} was permanently lost at epoch {epoch}; the "
+            f"synchronous world cannot continue — rerun under the elastic "
+            f"supervisor (--elastic) to shrink onto the survivors")
+        self.op = "rank_loss"
+        self.rank = rank
+        self.local_rank = local_rank
+        self.epoch = epoch
 
 
 class CollectiveGaveUp(RuntimeError):
@@ -109,6 +147,13 @@ class FaultPlan:
     policy:
         ``"retry"``, ``"fallback-dense"`` or ``"fail-fast"`` (see module
         docstring).
+    rank_loss:
+        ``((rank, epoch), ...)`` permanent-death events: *global* rank
+        ``rank`` dies at the start of epoch ``epoch``.  Distinct from
+        transient drops — the member never comes back on its own, so the
+        run raises :class:`RankLossError` unless an elastic supervisor
+        recovers it.  A rank absent from the current world (already dead)
+        cannot die again, so recovered runs never re-fire a past event.
     """
 
     seed: int = 0
@@ -121,6 +166,7 @@ class FaultPlan:
     backoff_base: float = 1.0e-4
     backoff_factor: float = 2.0
     policy: str = "retry"
+    rank_loss: tuple[tuple[int, int], ...] = ()
 
     def __post_init__(self) -> None:
         if self.policy not in FAULT_POLICIES:
@@ -156,12 +202,28 @@ class FaultPlan:
                 raise ValueError(
                     f"straggler factor must be > 0, got {factor} for rank {rank}")
             seen.add(rank)
+        seen_losses: set[tuple[int, int]] = set()
+        for entry in self.rank_loss:
+            if len(entry) != 2:
+                raise ValueError(
+                    f"rank_loss entries must be (rank, epoch), got {entry!r}")
+            rank, epoch = entry
+            if rank < 0:
+                raise ValueError(f"rank_loss rank must be >= 0, got {rank}")
+            if epoch < 1:
+                raise ValueError(
+                    f"rank_loss epoch must be >= 1, got {epoch} for rank {rank}")
+            if (rank, epoch) in seen_losses:
+                raise ValueError(
+                    f"duplicate rank_loss event (rank {rank}, epoch {epoch})")
+            seen_losses.add((rank, epoch))
 
     @property
     def is_null(self) -> bool:
         """True if this plan perturbs nothing (byte-identical to no plan)."""
         return (self.drop_prob == 0.0 and self.corruption_prob == 0.0
                 and self.alpha_jitter == 0.0 and self.beta_jitter == 0.0
+                and not self.rank_loss
                 and all(factor == 1.0 for _, factor in self.compute_slowdown))
 
     @classmethod
@@ -170,20 +232,35 @@ class FaultPlan:
         slowdown = tuple(sorted(factors.items()))
         return cls(compute_slowdown=slowdown, **kwargs)
 
+    #: Every key the ``--faults`` mini-language accepts (``straggler`` and
+    #: ``rankloss`` may repeat; everything else at most once).
+    PARSE_KEYS = ("seed", "drop", "corrupt", "jitter", "alpha_jitter",
+                  "beta_jitter", "straggler", "rankloss", "retries",
+                  "backoff", "policy")
+
     @classmethod
     def parse(cls, spec: str) -> "FaultPlan":
         """Parse the CLI's ``--faults`` mini-language.
 
-        Comma-separated ``key=value`` entries; ``straggler`` may repeat::
+        Comma-separated ``key=value`` entries; ``straggler`` and
+        ``rankloss`` may repeat::
 
-            drop=0.05,corrupt=0.01,jitter=0.2,straggler=2:3.0,policy=fallback-dense
+            drop=0.05,corrupt=0.01,jitter=0.2,straggler=2:3.0,\
+rankloss=2:3,policy=fallback-dense
 
         Keys: ``seed``, ``drop``, ``corrupt``, ``jitter`` (sets both
         sigmas), ``alpha_jitter``, ``beta_jitter``, ``straggler`` (as
-        ``rank:factor``), ``retries``, ``backoff``, ``policy``.
+        ``rank:factor``), ``rankloss`` (as ``rank:epoch``, a permanent
+        death), ``retries``, ``backoff``, ``policy``.
+
+        Malformed input never passes silently: an unknown key, a repeated
+        non-repeatable key, a missing ``=`` or a bad ``rank:value`` pair
+        each raise :class:`ValueError` naming the offending entry.
         """
         kwargs: dict = {}
         stragglers: list[tuple[int, float]] = []
+        losses: list[tuple[int, int]] = []
+        seen: set[str] = set()
         for item in spec.split(","):
             item = item.strip()
             if not item:
@@ -194,12 +271,36 @@ class FaultPlan:
             key, _, value = item.partition("=")
             key = key.strip()
             value = value.strip()
+            if key not in cls.PARSE_KEYS:
+                raise ValueError(
+                    f"unknown --faults key {key!r}; valid keys are "
+                    f"{', '.join(cls.PARSE_KEYS)}")
+            if key not in ("straggler", "rankloss"):
+                # `jitter` is shorthand for both sigmas, so it collides
+                # with each explicit alpha_jitter/beta_jitter key (but the
+                # two explicit keys are fine together).
+                aliases = ((key, "jitter")
+                           if key in ("alpha_jitter", "beta_jitter")
+                           else ("jitter", "alpha_jitter", "beta_jitter")
+                           if key == "jitter"
+                           else (key,))
+                if any(a in seen for a in aliases):
+                    raise ValueError(
+                        f"duplicate --faults key {key!r} (each key may "
+                        f"appear once; only straggler/rankloss repeat)")
+                seen.add(key)
             if key == "straggler":
                 rank_str, sep, factor_str = value.partition(":")
                 if not sep:
                     raise ValueError(
                         f"bad straggler spec {value!r}; expected rank:factor")
                 stragglers.append((int(rank_str), float(factor_str)))
+            elif key == "rankloss":
+                rank_str, sep, epoch_str = value.partition(":")
+                if not sep:
+                    raise ValueError(
+                        f"bad rankloss spec {value!r}; expected rank:epoch")
+                losses.append((int(rank_str), int(epoch_str)))
             elif key == "jitter":
                 kwargs["alpha_jitter"] = kwargs["beta_jitter"] = float(value)
             elif key in ("alpha_jitter", "beta_jitter"):
@@ -216,10 +317,10 @@ class FaultPlan:
                 kwargs["backoff_base"] = float(value)
             elif key == "policy":
                 kwargs["policy"] = value
-            else:
-                raise ValueError(f"unknown --faults key {key!r}")
         if stragglers:
             kwargs["compute_slowdown"] = tuple(sorted(stragglers))
+        if losses:
+            kwargs["rank_loss"] = tuple(sorted(losses))
         return cls(**kwargs)
 
     def describe(self) -> str:
@@ -235,6 +336,8 @@ class FaultPlan:
         for rank, factor in self.compute_slowdown:
             if factor != 1.0:
                 parts.append(f"straggler[{rank}]={factor:g}x")
+        for rank, epoch in self.rank_loss:
+            parts.append(f"rankloss[{rank}]@{epoch}")
         parts.append(f"policy={self.policy}")
         parts.append(f"seed={self.seed}")
         return " ".join(parts)
@@ -260,16 +363,34 @@ class FaultInjector:
     counts are monotone in the drop probability.
     """
 
-    def __init__(self, plan: FaultPlan, n_ranks: int):
-        for rank, _ in plan.compute_slowdown:
-            if rank >= n_ranks:
-                raise ValueError(
-                    f"straggler rank {rank} out of range [0, {n_ranks})")
+    def __init__(self, plan: FaultPlan, n_ranks: int,
+                 global_ranks: tuple[int, ...] | None = None):
+        if global_ranks is None:
+            # Identity world: plan ranks are local ranks, so out-of-range
+            # straggler entries are a configuration error.
+            for rank, _ in plan.compute_slowdown:
+                if rank >= n_ranks:
+                    raise ValueError(
+                        f"straggler rank {rank} out of range [0, {n_ranks})")
+            global_ranks = tuple(range(n_ranks))
+        elif len(global_ranks) != n_ranks:
+            raise ValueError(
+                f"global_ranks must name {n_ranks} members, "
+                f"got {len(global_ranks)}")
+        elif len(set(global_ranks)) != n_ranks:
+            raise ValueError(f"global_ranks has duplicates: {global_ranks}")
         self.plan = plan
         self.n_ranks = n_ranks
-        self.scales = np.ones(n_ranks, dtype=np.float64)
-        for rank, factor in plan.compute_slowdown:
-            self.scales[rank] = factor
+        #: Local rank -> original-world rank id.  Plan entries (stragglers,
+        #: rank-loss events) always name *global* ranks, so they follow a
+        #: member through elastic shrink/regrow renumbering; entries naming
+        #: absent ranks lie dormant.
+        self.global_ranks = tuple(int(g) for g in global_ranks)
+        slowdown = dict(plan.compute_slowdown)
+        self.scales = np.array(
+            [slowdown.get(g, 1.0) for g in self.global_ranks],
+            dtype=np.float64)
+        self._losses = set(plan.rank_loss)
         self.counters = FaultCounters()
         self._calls = 0
         self._reliable_depth = 0
@@ -279,6 +400,18 @@ class FaultInjector:
     def compute_scale(self, rank: int) -> float:
         """Straggler multiplier for one rank's compute time."""
         return float(self.scales[rank])
+
+    # -- permanent rank loss ---------------------------------------------
+
+    def lost_ranks(self, epoch: int) -> list[int]:
+        """Local ranks whose member permanently dies at ``epoch``.
+
+        Events are matched on (global rank, exact epoch), so a member
+        removed by a previous recovery cannot re-fire its event, and a
+        rolled-back epoch replayed without the dead member is clean.
+        """
+        return [local for local, g in enumerate(self.global_ranks)
+                if (g, int(epoch)) in self._losses]
 
     # -- reliability override -------------------------------------------
 
@@ -343,22 +476,26 @@ class FaultInjector:
                 if plan.policy == "fail-fast":
                     self.counters.giveups += 1
                     self.counters.retries += retries
-                    raise CollectiveFaultError(
+                    err = CollectiveFaultError(
                         f"collective {op!r} still has {outstanding} "
                         f"undelivered message(s) after "
                         f"{plan.max_retries} retries "
                         f"(drop_prob={plan.drop_prob}, "
                         f"corruption_prob={plan.corruption_prob}, "
                         f"policy=fail-fast)")
+                    err.op = op
+                    raise err
                 if plan.policy == "fallback-dense":
                     self.counters.giveups += 1
                     self.counters.retries += retries
                     raise CollectiveGaveUp(op, time, retries)
             if round_no > _MAX_RETRY_ROUNDS:
-                raise CollectiveFaultError(
+                err = CollectiveFaultError(
                     f"collective {op!r} exceeded {_MAX_RETRY_ROUNDS} "
                     f"retry rounds; failure probability {p_fail} is "
                     f"pathologically high")
+                err.op = op
+                raise err
             time += (outstanding * message_time
                      + plan.backoff_base * plan.backoff_factor ** (round_no - 1))
             retries += outstanding

@@ -70,16 +70,29 @@ class Cluster:
         Optional :class:`~repro.comm.faults.FaultPlan`.  A null plan (all
         knobs at defaults) is ignored entirely, so passing one is
         byte-identical to passing ``None``.
+    global_ranks:
+        Optional local-rank -> original-world rank-id map for elastic
+        worlds rebuilt over survivors; plan entries (stragglers,
+        rank-loss events) follow members through the renumbering.
+        ``None`` means the identity world.
     """
 
     def __init__(self, n_ranks: int, network: NetworkModel = DEFAULT_NETWORK,
-                 faults: FaultPlan | None = None):
+                 faults: FaultPlan | None = None,
+                 global_ranks: tuple[int, ...] | None = None):
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        if global_ranks is not None and len(global_ranks) != n_ranks:
+            raise ValueError(
+                f"global_ranks must name {n_ranks} members, "
+                f"got {len(global_ranks)}")
         self.n_ranks = n_ranks
         self.network = network
+        self.global_ranks = (tuple(int(g) for g in global_ranks)
+                             if global_ranks is not None
+                             else tuple(range(n_ranks)))
         self.faults: FaultInjector | None = (
-            FaultInjector(faults, n_ranks)
+            FaultInjector(faults, n_ranks, global_ranks=global_ranks)
             if faults is not None and not faults.is_null else None)
         self.clocks = np.zeros(n_ranks, dtype=np.float64)
         #: Per-rank idle seconds spent waiting at collective entry barriers;
@@ -87,6 +100,10 @@ class Cluster:
         self.wait_total = np.zeros(n_ranks, dtype=np.float64)
         self.records: list[CommRecord] = []
         self.stats = CommStats()
+        #: Virtual seconds spent on elastic recovery (rollback replay debt
+        #: plus the modeled state re-broadcast); charged via
+        #: :meth:`charge_recovery`, already included in the clocks.
+        self.recovery_time = 0.0
 
     # -- time accounting ------------------------------------------------
 
@@ -133,6 +150,18 @@ class Cluster:
         sync_point = self.clocks.max()
         self.wait_total += sync_point - self.clocks
         self.clocks[:] = sync_point
+
+    def charge_recovery(self, seconds: float) -> None:
+        """Charge elastic-recovery downtime to every rank's clock.
+
+        Recovery is a global stop-the-world event (the failed epoch's lost
+        progress plus reloading/re-broadcasting state), so it advances all
+        clocks uniformly — straggler multipliers do not apply to downtime.
+        """
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self.clocks += seconds
+        self.recovery_time += seconds
 
     @property
     def elapsed(self) -> float:

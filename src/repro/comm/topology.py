@@ -35,6 +35,15 @@ class HierarchicalNetwork:
     ranks_per_node:
         Workers per physical node (the paper's setup: 1 MPI rank of 24
         cores per node would be ``1``; a rank-per-socket layout is ``2``).
+    membership:
+        Optional explicit global rank ids of the members actually present.
+        A freshly launched job packs ranks densely (``None``, the default,
+        models that), but an elastically *shrunk* world keeps survivors on
+        their original nodes — after rank 2 of ``[0..3]`` dies with two
+        ranks per node, node 1 holds a single member while node 0 still
+        holds two.  ``membership`` preserves that occupancy so the
+        two-level collective times stay faithful after recovery (see
+        :meth:`with_membership`).
     """
 
     intra: NetworkModel = NetworkModel(alpha=0.3e-6, beta=1.0 / 5.0e10,
@@ -42,13 +51,33 @@ class HierarchicalNetwork:
     inter: NetworkModel = NetworkModel(alpha=5.0e-6, beta=1.0 / 8.0e9,
                                        node_flops=5.0e10)
     ranks_per_node: int = 2
+    membership: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.ranks_per_node < 1:
             raise ValueError(
                 f"ranks_per_node must be >= 1, got {self.ranks_per_node}")
+        if self.membership is not None:
+            if len(self.membership) < 1:
+                raise ValueError("membership must name at least one rank")
+            if len(set(self.membership)) != len(self.membership):
+                raise ValueError(
+                    f"membership has duplicate ranks: {self.membership}")
+            if any(g < 0 for g in self.membership):
+                raise ValueError("membership ranks must be >= 0")
 
     # -- helpers -----------------------------------------------------------
+
+    def with_membership(self, global_ranks) -> "HierarchicalNetwork":
+        """The same network, re-described over an explicit member set.
+
+        Used by the elastic supervisor when it rebuilds the cluster over
+        the surviving ranks: node occupancy follows each survivor's
+        *original* placement (``global_rank // ranks_per_node``) instead
+        of assuming dense re-packing.
+        """
+        from dataclasses import replace
+        return replace(self, membership=tuple(int(g) for g in global_ranks))
 
     @property
     def node_flops(self) -> float:
@@ -56,10 +85,36 @@ class HierarchicalNetwork:
         return self.inter.node_flops / self.ranks_per_node
 
     def _levels(self, p: int) -> tuple[int, int]:
-        """(ranks inside a node, nodes) for a p-rank job."""
+        """(max ranks inside one node, occupied nodes) for a p-rank job.
+
+        Without ``membership``, ranks pack densely.  With it, occupancy
+        follows the members' original node placement — the intra level is
+        bounded by the fullest node, and a node with no survivors left
+        drops out of the inter ring.
+        """
+        if self.membership is not None:
+            if len(self.membership) != p:
+                raise ValueError(
+                    f"membership names {len(self.membership)} ranks "
+                    f"but the collective spans {p}")
+            occupancy: dict[int, int] = {}
+            for g in self.membership:
+                node = g // self.ranks_per_node
+                occupancy[node] = occupancy.get(node, 0) + 1
+            return max(occupancy.values()), len(occupancy)
         local = min(self.ranks_per_node, p)
         nodes = math.ceil(p / local)
         return local, nodes
+
+    def _node_groups(self, p: int) -> list[list[int]]:
+        """Local rank indices grouped by the physical node that hosts them."""
+        if self.membership is not None:
+            groups: dict[int, list[int]] = {}
+            for i, g in enumerate(self.membership):
+                groups.setdefault(g // self.ranks_per_node, []).append(i)
+            return [groups[node] for node in sorted(groups)]
+        local = min(self.ranks_per_node, p)
+        return [list(range(i, min(i + local, p))) for i in range(0, p, local)]
 
     def compute_time(self, flops: float) -> float:
         """Time for one rank to execute ``flops``."""
@@ -113,12 +168,13 @@ class HierarchicalNetwork:
         t = 0.0
         if local > 1:
             # In-node gather of each node's ranks (bounded by the largest
-            # node aggregate), plus the final in-node broadcast of the
-            # global result.
-            node_blocks = [sum(blocks[i:i + local])
-                           for i in range(0, p, local)]
+            # node group), plus the final in-node broadcast of the global
+            # result.
+            groups = self._node_groups(p)
+            node_blocks = [sum(blocks[i] for i in group) for group in groups]
+            biggest = max(groups, key=len)
             t += self.intra.allgatherv_ring_time(
-                blocks[:local], local)
+                [blocks[i] for i in biggest], len(biggest))
             if nodes > 1:
                 t += self.inter.allgatherv_ring_time(node_blocks, nodes)
                 t += self.intra.broadcast_time(sum(blocks), local)
@@ -137,9 +193,11 @@ class HierarchicalNetwork:
         blocks = [float(b) for b in block_bytes]
         t = 0.0
         if local > 1:
-            node_blocks = [sum(blocks[i:i + local])
-                           for i in range(0, p, local)]
-            t += self.intra.allgatherv_bruck_time(blocks[:local], local)
+            groups = self._node_groups(p)
+            node_blocks = [sum(blocks[i] for i in group) for group in groups]
+            biggest = max(groups, key=len)
+            t += self.intra.allgatherv_bruck_time(
+                [blocks[i] for i in biggest], len(biggest))
             if nodes > 1:
                 t += self.inter.allgatherv_bruck_time(node_blocks, nodes)
                 t += self.intra.broadcast_time(sum(blocks), local)

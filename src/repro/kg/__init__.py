@@ -12,8 +12,10 @@ from .datasets import (
 )
 from .negative import NegativeBatch, corrupt_batch, select_all, select_hardest
 from .partition import (
+    PARTITION_SCHEMES,
     Partition,
     entity_partition,
+    make_partition,
     relation_partition,
     uniform_partition,
 )
@@ -31,11 +33,13 @@ __all__ = [
     "TripleStore",
     "corrupt_batch",
     "encode_triples",
+    "PARTITION_SCHEMES",
     "entity_partition",
     "generate_latent_kg",
     "load_store",
     "make_fb15k_like",
     "make_fb250k_like",
+    "make_partition",
     "make_tiny_kg",
     "make_wn18_like",
     "relation_partition",

@@ -158,6 +158,30 @@ def entity_partition(triples: TripleSet, n_parts: int,
                      scheme="entity")
 
 
+PARTITION_SCHEMES = ("uniform", "relation", "entity")
+
+
+def make_partition(triples: TripleSet, scheme: str, n_parts: int,
+                   rng: np.random.Generator | None = None) -> Partition:
+    """Partition ``triples`` under a named scheme (see module docstring).
+
+    The single entry point the trainer and the elastic supervisor share:
+    re-partitioning after a membership change re-runs *the same scheme* on
+    the new world size, so the relation partition's prefix-sum split — and
+    with it RP's no-communication invariant — is recomputed from scratch
+    for the survivors rather than patched up.
+    """
+    if scheme == "uniform":
+        return uniform_partition(triples, n_parts, rng=rng)
+    if scheme == "relation":
+        return relation_partition(triples, n_parts)
+    if scheme == "entity":
+        return entity_partition(triples, n_parts, rng=rng)
+    raise ValueError(
+        f"unknown partition scheme {scheme!r}; "
+        f"choose from {PARTITION_SCHEMES}")
+
+
 def _check_parts(triples: TripleSet, n_parts: int) -> None:
     if n_parts < 1:
         raise ValueError(f"n_parts must be >= 1, got {n_parts}")

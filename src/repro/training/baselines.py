@@ -58,7 +58,8 @@ class ParameterServerTrainer(DistributedTrainer):
         if self.topology.n_servers >= n_nodes and n_nodes > 1:
             raise ValueError("servers must be fewer than total nodes")
 
-    def _communicate(self, grads, mode, matrix_rows, residuals=None):
+    def _communicate(self, grads, mode, matrix_rows, residuals=None,
+                     kind="entity"):
         """Pull/push through the server tier; return the lossless sum."""
         from ..comm.sparse import combine_sparse
 

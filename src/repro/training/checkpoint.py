@@ -36,6 +36,17 @@ and a config-hash mismatch raises :class:`CheckpointConfigMismatchError`
 instead of silently resuming a different experiment.  ``max_epochs`` and the
 checkpoint knobs themselves are excluded from the hash, so a resume may
 train longer than the interrupted run intended.
+
+World-size lineage (schema 2)
+-----------------------------
+
+The manifest records the ``world_size`` that captured the snapshot plus the
+``world_lineage`` of every world it has lived through (e.g. ``[4, 3]`` after
+one shrink).  The world size is deliberately *not* part of the config hash:
+the elastic supervisor restores a 4-rank snapshot into a 3-rank trainer by
+passing :func:`apply_state` an explicit ``rank_map``, making the shrink an
+intentional, auditable act.  Without a ``rank_map``, a world mismatch raises
+:class:`CheckpointWorldMismatchError` rather than a misleading config error.
 """
 
 from __future__ import annotations
@@ -57,7 +68,8 @@ from .metrics import EpochLog
 from .rng import rng_state, set_rng_state
 
 #: Bump on any incompatible change to the manifest or array layout.
-SCHEMA_VERSION = 1
+#: 2: added world_size / world_lineage; dropped n_nodes from the config hash.
+SCHEMA_VERSION = 2
 
 #: Marker distinguishing our manifests from arbitrary JSON files.
 FORMAT_NAME = "repro-checkpoint"
@@ -90,6 +102,15 @@ class CheckpointConfigMismatchError(CheckpointError):
     """The checkpoint belongs to a run with a different configuration."""
 
 
+class CheckpointWorldMismatchError(CheckpointError):
+    """The checkpoint was captured by a different world size.
+
+    Restoring across world sizes is legal — that is exactly what elastic
+    shrink/regrow does — but it must be *asked for* by passing
+    :func:`apply_state` a ``rank_map``; a plain resume refuses, loudly.
+    """
+
+
 @dataclass
 class CheckpointState:
     """In-memory image of one checkpoint (captured or loaded)."""
@@ -102,6 +123,11 @@ class CheckpointState:
     scalars: dict
     #: Fingerprint of the run configuration that produced this state.
     config_hash: str
+    #: Ranks in the world that captured this snapshot (0 = unknown/legacy).
+    world_size: int = 0
+    #: Every world size this training lineage has lived through, oldest
+    #: first (``(4, 3)`` after one shrink; ``(4, 3, 4)`` after a regrow).
+    world_lineage: tuple = ()
 
 
 # ---------------------------------------------------------------------------
@@ -133,14 +159,15 @@ def store_fingerprint(store) -> str:
 _RESUMABLE_CONFIG_FIELDS = ("max_epochs", "checkpoint_dir", "checkpoint_every")
 
 
-def config_fingerprint(store, strategy, n_nodes: int, config, network,
-                       faults) -> str:
+def config_fingerprint(store, strategy, config, network, faults) -> str:
     """Hash everything that shapes the training trajectory.
 
-    Two trainers with equal fingerprints are guaranteed to walk identical
-    trajectories, so a checkpoint from one resumes bitwise-exactly on the
-    other.  A null fault plan hashes like no plan at all (they are
-    byte-identical at runtime).
+    Two same-world trainers with equal fingerprints are guaranteed to walk
+    identical trajectories, so a checkpoint from one resumes bitwise-exactly
+    on the other.  A null fault plan hashes like no plan at all (they are
+    byte-identical at runtime).  The world size is deliberately absent —
+    cross-world restores are the elastic supervisor's job and are policed
+    by :class:`CheckpointWorldMismatchError`, not by the hash.
     """
     cfg = dataclasses.asdict(config)
     for key in _RESUMABLE_CONFIG_FIELDS:
@@ -150,7 +177,6 @@ def config_fingerprint(store, strategy, n_nodes: int, config, network,
     payload = {
         "store": store_fingerprint(store),
         "strategy": dataclasses.asdict(strategy),
-        "n_nodes": n_nodes,
         "config": cfg,
         "network": dataclasses.asdict(network),
         "faults": plan,
@@ -235,18 +261,57 @@ def capture_state(trainer) -> CheckpointState:
     }
     return CheckpointState(epoch=trainer._completed_epochs, arrays=arrays,
                            scalars=scalars,
-                           config_hash=trainer.config_fingerprint())
+                           config_hash=trainer.config_fingerprint(),
+                           world_size=trainer.n_nodes,
+                           world_lineage=tuple(trainer.world_lineage))
 
 
-def apply_state(trainer, state: CheckpointState) -> None:
+def apply_state(trainer, state: CheckpointState,
+                rank_map: list | None = None) -> None:
     """Overwrite a freshly built trainer's state with a checkpoint's.
 
     The caller has already verified ``state.config_hash`` matches the
     trainer (:func:`load_checkpoint` / ``DistributedTrainer.restore``), so
-    shapes and worker counts line up by construction.
+    array shapes line up by construction.
+
+    ``rank_map`` maps each of the trainer's local ranks to the local rank
+    that held its state in the *capturing* world, or ``None`` for a member
+    with no prior state (a regrown rank).  Surviving ranks carry their
+    clocks, barrier-wait totals, error-feedback residuals and worker RNG
+    positions across the membership change; fresh members start with a
+    clock at the restored maximum (they join at the barrier), zero wait,
+    pristine residuals and whatever RNG the caller installed (the elastic
+    supervisor hands them a rejoin stream).  Without a ``rank_map``, any
+    world-size difference raises :class:`CheckpointWorldMismatchError`.
     """
     arrays = state.arrays
     scalars = state.scalars
+
+    if rank_map is None:
+        if state.world_size and state.world_size != trainer.n_nodes:
+            raise CheckpointWorldMismatchError(
+                f"checkpoint was captured by a {state.world_size}-rank world "
+                f"(lineage {list(state.world_lineage)}) but this trainer has "
+                f"{trainer.n_nodes} ranks; plain resume requires matching "
+                f"worlds — use the elastic supervisor (--elastic) to shrink "
+                f"or regrow across a membership change")
+        rank_map = list(range(trainer.n_nodes))
+    if len(rank_map) != trainer.n_nodes:
+        raise ValueError(
+            f"rank_map names {len(rank_map)} ranks for a "
+            f"{trainer.n_nodes}-rank trainer")
+    old_world = state.world_size or len(rank_map)
+    for old in rank_map:
+        if old is not None and not 0 <= old < old_world:
+            raise ValueError(
+                f"rank_map entry {old} outside the capturing world "
+                f"[0, {old_world})")
+    survivors = [old for old in rank_map if old is not None]
+    if len(set(survivors)) != len(survivors):
+        raise ValueError(f"rank_map maps two ranks to one source: {rank_map}")
+    if not survivors:
+        raise ValueError("rank_map carries no surviving rank; a world of "
+                         "entirely fresh members cannot restore a snapshot")
 
     trainer.model.entity_emb = np.array(arrays["model/entity_emb"],
                                         dtype=np.float32)
@@ -262,14 +327,27 @@ def apply_state(trainer, state: CheckpointState) -> None:
         if stores is None:
             continue
         for rank, store in enumerate(stores):
-            store._residual = np.array(arrays[f"residual/{name}/{rank}/values"],
-                                       dtype=np.float32)
-            store._dirty = np.array(arrays[f"residual/{name}/{rank}/dirty"],
-                                    dtype=bool)
+            old = rank_map[rank]
+            if old is None:
+                store._residual[:] = 0.0
+                store._dirty[:] = False
+                continue
+            store._residual = np.array(
+                arrays[f"residual/{name}/{old}/values"], dtype=np.float32)
+            store._dirty = np.array(
+                arrays[f"residual/{name}/{old}/dirty"], dtype=bool)
 
     cluster = trainer.cluster
-    cluster.clocks[:] = np.asarray(arrays["cluster/clocks"], dtype=np.float64)
-    cluster.wait_total[:] = np.asarray(arrays["cluster/wait"], dtype=np.float64)
+    old_clocks = np.asarray(arrays["cluster/clocks"], dtype=np.float64)
+    old_wait = np.asarray(arrays["cluster/wait"], dtype=np.float64)
+    join_clock = float(max(old_clocks[old] for old in survivors))
+    for rank, old in enumerate(rank_map):
+        if old is None:
+            cluster.clocks[rank] = join_clock
+            cluster.wait_total[rank] = 0.0
+        else:
+            cluster.clocks[rank] = old_clocks[old]
+            cluster.wait_total[rank] = old_wait[old]
     cluster.records.clear()
     comm = scalars["comm_stats"]
     cluster.stats = CommStats(
@@ -293,14 +371,15 @@ def apply_state(trainer, state: CheckpointState) -> None:
     trainer._drs.probes = int(drs["probes"])
 
     rng = scalars["rng"]
-    if len(rng["workers"]) != len(trainer.workers):
+    if len(rng["workers"]) != old_world:
         raise CheckpointCorruptError(
             f"checkpoint carries {len(rng['workers'])} worker RNG states "
-            f"for a {len(trainer.workers)}-worker trainer")
+            f"for a world of {old_world} ranks")
     set_rng_state(trainer.rng, rng["trainer"])
     set_rng_state(trainer._sel_rng, rng["selection"])
-    for worker, wstate in zip(trainer.workers, rng["workers"]):
-        set_rng_state(worker.rng, wstate)
+    for worker, old in zip(trainer.workers, rank_map):
+        if old is not None:
+            set_rng_state(worker.rng, rng["workers"][old])
 
     partial = scalars["result"]
     result = trainer.result
@@ -325,6 +404,12 @@ def apply_state(trainer, state: CheckpointState) -> None:
     trainer.eval_timer.seconds = float(timer["seconds"])
     trainer.eval_timer.queries = int(timer["queries"])
     trainer.eval_timer.sections = int(timer["sections"])
+
+    lineage = [int(w) for w in state.world_lineage] or (
+        [int(state.world_size)] if state.world_size else [trainer.n_nodes])
+    if lineage[-1] != trainer.n_nodes:
+        lineage.append(trainer.n_nodes)
+    trainer.world_lineage = lineage
 
     trainer._completed_epochs = int(state.epoch)
     trainer._last_snapshot = None
@@ -378,6 +463,8 @@ def write_checkpoint(state: CheckpointState, path: str | Path) -> Path:
         "schema_version": SCHEMA_VERSION,
         "config_hash": state.config_hash,
         "epoch": state.epoch,
+        "world_size": state.world_size,
+        "world_lineage": list(state.world_lineage),
         "arrays": {
             name: {
                 "sha256": _sha256_array(arr),
@@ -467,9 +554,12 @@ def load_checkpoint(path: str | Path,
                 f"file {actual[:12]}...); the checkpoint is corrupt — "
                 f"resume from an earlier snapshot")
 
-    return CheckpointState(epoch=int(manifest["epoch"]), arrays=arrays,
-                           scalars=manifest["state"],
-                           config_hash=config_hash)
+    return CheckpointState(
+        epoch=int(manifest["epoch"]), arrays=arrays,
+        scalars=manifest["state"], config_hash=config_hash,
+        world_size=int(manifest.get("world_size", 0)),
+        world_lineage=tuple(int(w)
+                            for w in manifest.get("world_lineage", [])))
 
 
 # ---------------------------------------------------------------------------
@@ -505,3 +595,33 @@ def latest_checkpoint(root: str | Path) -> Path | None:
     """The highest-epoch checkpoint under ``root`` (None if there is none)."""
     found = list_checkpoints(root)
     return found[-1][1] if found else None
+
+
+def prune_checkpoints(root: str | Path, keep: int) -> list[Path]:
+    """Delete all but the newest ``keep`` routine checkpoints under ``root``.
+
+    Failure snapshots (directories named ``failure-*``) are never pruned —
+    they are the post-mortem record of what the run looked like when a
+    fault killed it, and the elastic supervisor's audit trail.  ``keep <= 0``
+    keeps everything.  Deletion is torn-write safe in the same sense the
+    writer is: the manifest goes first (the directory instantly vanishes
+    from :func:`list_checkpoints`), then the arrays, then the directory, so
+    a kill mid-prune can never leave a half-deleted checkpoint discoverable.
+
+    Returns the deleted paths, oldest first.
+    """
+    if keep <= 0:
+        return []
+    routine = [(epoch, path) for epoch, path in list_checkpoints(root)
+               if not path.name.startswith("failure-")]
+    doomed = routine[:-keep] if len(routine) > keep else []
+    pruned: list[Path] = []
+    for _epoch, path in doomed:
+        manifest = path / MANIFEST_NAME
+        if manifest.is_file():
+            manifest.unlink()
+        for leftover in sorted(path.iterdir()):
+            leftover.unlink()
+        path.rmdir()
+        pruned.append(path)
+    return pruned

@@ -59,6 +59,8 @@ class EpochLog:
     nonzero_entity_rows: float     # mean per step, for Fig. 2
     selection_sparsity: float      # fraction of rows dropped by selection
     eval_time: float = 0.0
+    #: Ranks that trained this epoch (0 = written before elastic support).
+    world_size: int = 0
 
 
 @dataclass
@@ -91,6 +93,17 @@ class TrainResult:
     eval_seconds: float = 0.0
     #: Ranking queries executed (head + tail sweeps count separately).
     eval_queries: int = 0
+    #: Elastic-supervisor restarts survived (0 = never lost a rank).
+    restarts: int = 0
+    #: Simulated seconds (time-scaled) spent on elastic recovery: rolled-back
+    #: epoch progress plus the modeled state re-broadcast.  Included in
+    #: ``total_time``.
+    recovery_time: float = 0.0
+    #: Every world size the run lived through, oldest first ([n] = static).
+    world_lineage: list = field(default_factory=list)
+    #: Elastic recovery log: one dict per membership change (see
+    #: repro.training.elastic.RecoveryEvent.as_dict), empty when static.
+    recovery_log: list = field(default_factory=list)
 
     @property
     def eval_queries_per_sec(self) -> float:

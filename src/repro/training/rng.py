@@ -17,6 +17,8 @@ selection          ``default_rng((seed, 0xC0FFEE))``        gradient-row
                                                             stochastic rounding
 worker ``rank``    ``default_rng((seed, rank))``            epoch shuffles,
                                                             negative sampling
+rejoin             ``default_rng((seed, 0xE1A57C,           a regrown rank's
+                   rank, epoch))``                          fresh worker stream
 =================  =======================================  ====================
 
 The selection stream constant ``0xC0FFEE`` (12648430) keeps it disjoint
@@ -41,6 +43,15 @@ import numpy as np
 #: Sub-seed of the gradient-selection stream (disjoint from worker ranks).
 SELECTION_STREAM = 0xC0FFEE
 
+#: Sub-seed of the rejoin streams ("ELASTC"): a rank re-admitted by the
+#: elastic supervisor must not resume its pre-failure worker stream (that
+#: position was rolled back with the checkpoint and is being replayed by a
+#: survivor-world history only in expectation), nor restart ``(seed, rank)``
+#: from scratch (it would replay epoch-1 shuffles).  It gets a fresh stream
+#: keyed on *when* it rejoined, so the whole trajectory stays a pure
+#: function of (seed, fault plan).
+REJOIN_STREAM = 0xE1A57C
+
 
 def trainer_rng(seed: int) -> np.random.Generator:
     """The trainer's own stream (consumed once, by shard partitioning)."""
@@ -58,6 +69,19 @@ def worker_rng(seed: int, rank: int) -> np.random.Generator:
         raise ValueError(
             f"worker rank must be in [0, {SELECTION_STREAM}), got {rank}")
     return np.random.default_rng((seed, rank))
+
+
+def rejoin_rng(seed: int, rank: int, epoch: int) -> np.random.Generator:
+    """The fresh stream handed to rank ``rank`` regrown at ``epoch``.
+
+    Disjoint from every worker stream (second word ``REJOIN_STREAM``) and
+    from other rejoins of the same rank at different boundaries.
+    """
+    if rank < 0:
+        raise ValueError(f"rank must be >= 0, got {rank}")
+    if epoch < 1:
+        raise ValueError(f"epoch must be >= 1, got {epoch}")
+    return np.random.default_rng((seed, REJOIN_STREAM, rank, epoch))
 
 
 def rng_state(rng: np.random.Generator) -> dict:

@@ -31,7 +31,8 @@ from pathlib import Path
 import numpy as np
 
 from ..comm import collectives
-from ..comm.faults import CollectiveFaultError, CollectiveGaveUp, FaultPlan
+from ..comm.faults import CollectiveFaultError, CollectiveGaveUp, FaultPlan, \
+    RankLossError
 from ..comm.network import DEFAULT_NETWORK, NetworkModel
 from ..comm.payload import dense_bytes
 from ..comm.simulator import Cluster
@@ -44,7 +45,7 @@ from ..compress.selection import select
 from ..config import DEFAULT_SEED
 from ..eval.classification import evaluate_classification
 from ..eval.ranking import FILTER_IMPLS, RankingResult, evaluate_ranking
-from ..kg.partition import relation_partition, uniform_partition
+from ..kg.partition import make_partition
 from ..kg.triples import TripleStore
 from ..models import make_model
 from ..optim.adam import Adam
@@ -103,6 +104,10 @@ class TrainConfig:
     #: Write a checkpoint every N completed epochs (0 = only the
     #: crash-time snapshot).  Requires ``checkpoint_dir``.
     checkpoint_every: int = 0
+    #: Retention: keep only the newest N routine checkpoints on disk,
+    #: pruning older ones after each write (0 = keep everything).
+    #: ``failure-*`` snapshots are never pruned.
+    checkpoint_keep: int = 2
 
     def __post_init__(self) -> None:
         if self.dim < 1 or self.batch_size < 1 or self.max_epochs < 1:
@@ -127,6 +132,9 @@ class TrainConfig:
         if self.checkpoint_every and not self.checkpoint_dir:
             raise ValueError(
                 "checkpoint_every requires checkpoint_dir to be set")
+        if self.checkpoint_keep < 0:
+            raise ValueError(
+                f"checkpoint_keep must be >= 0, got {self.checkpoint_keep}")
 
 
 @dataclass
@@ -165,7 +173,8 @@ class DistributedTrainer:
     def __init__(self, store: TripleStore, strategy: StrategyConfig,
                  n_nodes: int, config: TrainConfig | None = None,
                  network: NetworkModel | None = None,
-                 faults: FaultPlan | None = None):
+                 faults: FaultPlan | None = None,
+                 global_ranks: tuple[int, ...] | None = None):
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
         self.store = store
@@ -174,7 +183,11 @@ class DistributedTrainer:
         self.config = config or TrainConfig()
         self.network = network or DEFAULT_NETWORK
         self.faults = faults
-        self.cluster = Cluster(n_nodes, self.network, faults=faults)
+        self.cluster = Cluster(n_nodes, self.network, faults=faults,
+                               global_ranks=global_ranks)
+        #: Original-world identity of each local rank (identity for a
+        #: freshly launched job; survivors' ids for an elastic world).
+        self.global_ranks = self.cluster.global_ranks
         self._fallbacks = 0
         self.eval_timer = EvalTimer()
 
@@ -186,10 +199,15 @@ class DistributedTrainer:
         # the checkpoint layer snapshots their exact positions.
         self.rng = trainer_rng(cfg.seed)
 
-        if strategy.relation_partition and n_nodes > 1:
-            part = relation_partition(store.train, n_nodes)
-        else:
-            part = uniform_partition(store.train, n_nodes, rng=self.rng)
+        # The elastic supervisor rebuilds trainers over shrunk/regrown
+        # worlds; routing every construction through make_partition
+        # guarantees re-partitioning re-runs the *same scheme* (including
+        # RP's prefix-sum split) on the new world size.
+        self.partition_scheme = ("relation"
+                                 if strategy.relation_partition and n_nodes > 1
+                                 else "uniform")
+        part = make_partition(store.train, self.partition_scheme, n_nodes,
+                              rng=self.rng)
         self.partition = part
         self.workers = [
             Worker(rank=i, shard=part.parts[i], n_entities=store.n_entities,
@@ -249,6 +267,15 @@ class DistributedTrainer:
         self._completed_epochs = 0
         self._last_snapshot: ckpt.CheckpointState | None = None
         self._config_hash: str | None = None
+        #: World sizes this training lineage has lived through (appended to
+        #: by cross-world restores; see checkpoint.apply_state).
+        self.world_lineage: list[int] = [n_nodes]
+        #: Force per-epoch in-memory snapshots even without a checkpoint
+        #: dir (the elastic supervisor's rollback source).
+        self._snapshot_epochs = False
+        #: Stop after completing this epoch even if budget remains (the
+        #: supervisor uses it to open a regrow boundary).
+        self._stop_after: int | None = None
 
     # -- checkpoint/resume ---------------------------------------------
 
@@ -260,8 +287,8 @@ class DistributedTrainer:
         """
         if self._config_hash is None:
             self._config_hash = ckpt.config_fingerprint(
-                self.store, self.strategy, self.n_nodes, self.config,
-                self.network, self.faults)
+                self.store, self.strategy, self.config, self.network,
+                self.faults)
         return self._config_hash
 
     def save_checkpoint(self, path: str | Path) -> Path:
@@ -303,14 +330,18 @@ class DistributedTrainer:
 
     def _communicate(self, grads: list[SparseRows], mode: str,
                      matrix_rows: int,
-                     residuals: list[ResidualStore] | None = None
-                     ) -> tuple[SparseRows, float]:
+                     residuals: list[ResidualStore] | None = None,
+                     kind: str = "entity") -> tuple[SparseRows, float]:
         """Combine per-rank gradients; return (combined, selection sparsity).
 
         The allreduce path is lossless and dense on the wire; the allgather
         path first applies row selection and quantization per rank.
         ``residuals`` (one store per rank, matching this matrix) enables
-        error feedback around the quantizer.
+        error feedback around the quantizer.  ``kind`` ("entity" or
+        "relation") prefixes every collective's op label so comm stats
+        attribute traffic per gradient matrix — the relation partition's
+        no-communication invariant is then directly auditable as the
+        absence of any ``relation_*`` op.
         """
         strategy = self.strategy
         if self.n_nodes == 1:
@@ -318,26 +349,26 @@ class DistributedTrainer:
 
         if mode == "allreduce":
             try:
-                width = (self._entity_width
-                         if matrix_rows == self.store.n_entities
+                width = (self._entity_width if kind == "entity"
                          else self._relation_width)
                 collectives.allreduce_bytes(
                     self.cluster, dense_bytes(matrix_rows, width),
-                    algo=strategy.allreduce_algo)
+                    algo=strategy.allreduce_algo,
+                    op_label=f"{kind}_allreduce")
             except CollectiveGaveUp:
-                self._dense_fallback(matrix_rows)
+                self._dense_fallback(matrix_rows, kind)
             return combine_sparse(grads), 0.0
 
         try:
-            return self._communicate_allgather(grads, residuals)
+            return self._communicate_allgather(grads, residuals, kind)
         except CollectiveGaveUp:
             # fallback-dense policy: the compressed gather could not be
             # delivered; resend the step's update as a reliable (and
             # lossless) dense allreduce instead.
-            self._dense_fallback(matrix_rows)
+            self._dense_fallback(matrix_rows, kind)
             return combine_sparse(grads), 0.0
 
-    def _dense_fallback(self, matrix_rows: int) -> None:
+    def _dense_fallback(self, matrix_rows: int, kind: str = "entity") -> None:
         """Resend one step's update as a reliable dense allreduce.
 
         Engaged by the ``fallback-dense`` degradation policy after a
@@ -345,16 +376,18 @@ class DistributedTrainer:
         is already on the clocks).  The fallback itself runs with
         unbounded retries so it cannot abort recursively.
         """
-        width = (self._entity_width if matrix_rows == self.store.n_entities
+        width = (self._entity_width if kind == "entity"
                  else self._relation_width)
         with self.cluster.faults.reliable():
             collectives.allreduce_bytes(
                 self.cluster, dense_bytes(matrix_rows, width),
-                algo=self.strategy.allreduce_algo, op_label="fallback_dense")
+                algo=self.strategy.allreduce_algo,
+                op_label=f"{kind}_fallback_dense")
         self._fallbacks += 1
 
     def _communicate_allgather(self, grads: list[SparseRows],
-                               residuals: list[ResidualStore] | None
+                               residuals: list[ResidualStore] | None,
+                               kind: str = "entity"
                                ) -> tuple[SparseRows, float]:
         """The lossy allgather path of :meth:`_communicate`."""
         strategy = self.strategy
@@ -383,7 +416,8 @@ class DistributedTrainer:
                 payloads.append(q)
             collectives.allgatherv_bytes(
                 self.cluster, [q.nbytes_wire for q in payloads],
-                algo=strategy.allgather_algo, op_label="allgather_quant")
+                algo=strategy.allgather_algo,
+                op_label=f"{kind}_allgather_quant")
             combined = combine_sparse([dequantize(q) for q in payloads])
         elif self._projections is not None:
             # GradZip comparator: project rows onto the shared basis, ship
@@ -394,12 +428,14 @@ class DistributedTrainer:
             payloads = [gradzip.compress(g, projection) for g in processed]
             collectives.allgatherv_bytes(
                 self.cluster, [q.nbytes_wire for q in payloads],
-                algo=strategy.allgather_algo, op_label="allgather_factored")
+                algo=strategy.allgather_algo,
+                op_label=f"{kind}_allgather_factored")
             combined = combine_sparse(
                 [gradzip.reconstruct(q, projection) for q in payloads])
         else:
             combined = collectives.allgather_sparse(
-                self.cluster, processed, algo=strategy.allgather_algo)
+                self.cluster, processed, algo=strategy.allgather_algo,
+                op_label=f"{kind}_allgather_sparse")
 
         total_rows = dropped + kept
         sparsity = dropped / total_rows if total_rows else 0.0
@@ -444,7 +480,8 @@ class DistributedTrainer:
         cfg = self.config
         result = self.result
         ckpt_dir = Path(cfg.checkpoint_dir) if cfg.checkpoint_dir else None
-        if ckpt_dir is not None and self._last_snapshot is None:
+        snapshotting = ckpt_dir is not None or self._snapshot_epochs
+        if snapshotting and self._last_snapshot is None:
             # Pre-epoch snapshot: even a first-epoch crash leaves a
             # resumable epoch-0 (or resume-point) checkpoint behind.
             self._last_snapshot = ckpt.capture_state(self)
@@ -454,25 +491,36 @@ class DistributedTrainer:
                 # Restored from a checkpoint of an already-converged run:
                 # the uninterrupted run never trained this epoch either.
                 break
+            if (self._stop_after is not None
+                    and self._completed_epochs >= self._stop_after):
+                # Elastic regrow boundary: hand control back to the
+                # supervisor with budget remaining.
+                break
             try:
                 self._run_epoch(epoch)
-            except CollectiveFaultError:
+            except CollectiveFaultError as exc:
+                if exc.epoch is None:
+                    exc.epoch = epoch
                 if ckpt_dir is not None and self._last_snapshot is not None:
                     ckpt.write_checkpoint(
                         self._last_snapshot,
                         ckpt_dir / f"failure-epoch-{self._last_snapshot.epoch:04d}")
                 raise
             self._completed_epochs = epoch
-            if ckpt_dir is not None:
+            if snapshotting:
                 self._last_snapshot = ckpt.capture_state(self)
-                if cfg.checkpoint_every and epoch % cfg.checkpoint_every == 0:
-                    ckpt.write_checkpoint(self._last_snapshot,
-                                          ckpt_dir / f"epoch-{epoch:04d}")
+            if (ckpt_dir is not None and cfg.checkpoint_every
+                    and epoch % cfg.checkpoint_every == 0):
+                ckpt.write_checkpoint(self._last_snapshot,
+                                      ckpt_dir / f"epoch-{epoch:04d}")
+                ckpt.prune_checkpoints(ckpt_dir, cfg.checkpoint_keep)
             if self.scheduler.done:
                 break
 
         result.epochs = len(result.logs)
         result.total_time = self.cluster.elapsed * cfg.time_scale
+        result.recovery_time = self.cluster.recovery_time * cfg.time_scale
+        result.world_lineage = list(self.world_lineage)
         result.final_val_mrr = result.logs[-1].val_mrr if result.logs else float("nan")
         result.bytes_total = self.cluster.stats.nbytes_total
         result.comm_retries = self.cluster.stats.retries
@@ -497,6 +545,15 @@ class DistributedTrainer:
         strategy = self.strategy
         result = self.result
         zero_tol = cfg.zero_row_tol
+        if self.cluster.faults is not None:
+            lost = self.cluster.faults.lost_ranks(epoch)
+            if lost:
+                # A synchronous world cannot outlive any member: the first
+                # collective would hang forever.  Surface the loss before
+                # any step runs so the rolled-back state stays clean.
+                local = lost[0]
+                raise RankLossError(rank=self.global_ranks[local],
+                                    epoch=epoch, local_rank=local)
         ss_warmup = (cfg.lr_warmup_epochs if cfg.ss_warmup_epochs < 0
                      else cfg.ss_warmup_epochs)
         ss_active = epoch > ss_warmup
@@ -535,7 +592,7 @@ class DistributedTrainer:
             ]
             entity_combined, sparsity = self._communicate(
                 entity_parts, mode, self.store.n_entities,
-                residuals=self._entity_residuals)
+                residuals=self._entity_residuals, kind="entity")
             sparsity_sum += sparsity
             entity_combined = entity_combined.scale(1.0 / self.n_nodes)
             self.optimizer.entity_state.apply_sparse(
@@ -559,7 +616,7 @@ class DistributedTrainer:
                 relation_parts = [o.relation_grad for o in outputs]
                 relation_combined, _ = self._communicate(
                     relation_parts, mode, self.store.n_relations,
-                    residuals=self._relation_residuals)
+                    residuals=self._relation_residuals, kind="relation")
                 relation_combined = relation_combined.scale(
                     1.0 / self.n_nodes)
                 self.optimizer.relation_state.apply_sparse(
@@ -594,7 +651,7 @@ class DistributedTrainer:
             bytes_communicated=self.cluster.stats.nbytes_total - bytes_before,
             nonzero_entity_rows=nonzero_rows_sum / self.steps_per_epoch,
             selection_sparsity=sparsity_sum / self.steps_per_epoch,
-            eval_time=eval_time))
+            eval_time=eval_time, world_size=self.n_nodes))
 
         if self.scheduler.done:
             result.converged = True

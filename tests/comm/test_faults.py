@@ -260,3 +260,147 @@ class TestInjectorDeterminism:
         (t1, c1), (t2, c2) = run(), run()
         assert t1 == t2
         assert c1 == c2
+
+
+class TestFaultPlanParseMatrix:
+    """Every key of the --faults mini-language, valid and invalid forms."""
+
+    @pytest.mark.parametrize("spec, attr, expected", [
+        ("seed=7", "seed", 7),
+        ("drop=0.1", "drop_prob", 0.1),
+        ("corrupt=0.2", "corruption_prob", 0.2),
+        ("alpha_jitter=0.4", "alpha_jitter", 0.4),
+        ("beta_jitter=0.5", "beta_jitter", 0.5),
+        ("straggler=1:2.0", "compute_slowdown", ((1, 2.0),)),
+        ("rankloss=2:3", "rank_loss", ((2, 3),)),
+        ("retries=5", "max_retries", 5),
+        ("backoff=1e-3", "backoff_base", 1e-3),
+        ("policy=fail-fast", "policy", "fail-fast"),
+    ])
+    def test_every_valid_key_parses(self, spec, attr, expected):
+        assert getattr(FaultPlan.parse(spec), attr) == expected
+
+    def test_jitter_shorthand_sets_both_sigmas(self):
+        plan = FaultPlan.parse("jitter=0.3")
+        assert plan.alpha_jitter == plan.beta_jitter == 0.3
+
+    def test_whitespace_and_empty_items_tolerated(self):
+        plan = FaultPlan.parse(" drop = 0.1 , , seed = 3 ,")
+        assert plan.drop_prob == 0.1 and plan.seed == 3
+
+    def test_unknown_key_error_names_the_key(self):
+        with pytest.raises(ValueError, match="frobnicate"):
+            FaultPlan.parse("frobnicate=1")
+
+    def test_missing_equals_error_names_the_entry(self):
+        with pytest.raises(ValueError, match="expected key=value"):
+            FaultPlan.parse("drop=0.1,oops")
+
+    @pytest.mark.parametrize("spec", [
+        "drop=0.1,drop=0.2",
+        "seed=1,seed=2",
+        "policy=retry,policy=fail-fast",
+        "jitter=0.1,jitter=0.2",
+        # `jitter` is shorthand for both sigmas, so it collides with each
+        # explicit key...
+        "jitter=0.1,alpha_jitter=0.2",
+        "beta_jitter=0.2,jitter=0.1",
+    ])
+    def test_duplicate_keys_rejected(self, spec):
+        with pytest.raises(ValueError, match="duplicate|jitter"):
+            FaultPlan.parse(spec)
+
+    @pytest.mark.parametrize("spec", [
+        # ...but the two explicit sigmas together are fine, and the
+        # repeatable keys repeat.
+        "alpha_jitter=0.3,beta_jitter=0.1",
+        "straggler=0:2.0,straggler=1:3.0",
+        "rankloss=0:2,rankloss=1:3",
+    ])
+    def test_legitimate_combinations_accepted(self, spec):
+        FaultPlan.parse(spec)
+
+    @pytest.mark.parametrize("spec, message", [
+        ("straggler=2", "rank:factor"),
+        ("rankloss=2", "rank:epoch"),
+    ])
+    def test_bad_pair_forms_rejected(self, spec, message):
+        with pytest.raises(ValueError, match=message):
+            FaultPlan.parse(spec)
+
+    @pytest.mark.parametrize("spec", [
+        "straggler=x:2.0", "rankloss=2:y", "drop=lots", "retries=few",
+    ])
+    def test_non_numeric_values_rejected(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+    def test_rankloss_events_sorted(self):
+        plan = FaultPlan.parse("rankloss=3:5,rankloss=1:2")
+        assert plan.rank_loss == ((1, 2), (3, 5))
+
+    def test_parsed_constraint_violations_still_rejected(self):
+        """parse() routes through __post_init__, so semantic checks hold."""
+        with pytest.raises(ValueError, match="epoch must be >= 1"):
+            FaultPlan.parse("rankloss=2:0")
+        with pytest.raises(ValueError, match="drop_prob"):
+            FaultPlan.parse("drop=1.0")
+
+
+class TestRankLossPlan:
+    def test_validation_rejects_bad_events(self):
+        with pytest.raises(ValueError, match="rank must be >= 0"):
+            FaultPlan(rank_loss=((-1, 3),))
+        with pytest.raises(ValueError, match="epoch must be >= 1"):
+            FaultPlan(rank_loss=((2, 0),))
+        with pytest.raises(ValueError, match="duplicate rank_loss"):
+            FaultPlan(rank_loss=((2, 3), (2, 3)))
+        with pytest.raises(ValueError, match="rank, epoch"):
+            FaultPlan(rank_loss=((1, 2, 3),))
+
+    def test_rank_loss_is_not_null(self):
+        assert not FaultPlan(rank_loss=((2, 3),)).is_null
+
+    def test_describe_mentions_rankloss(self):
+        assert "rankloss[2]@3" in FaultPlan(rank_loss=((2, 3),)).describe()
+
+    def test_same_rank_may_die_in_different_worlds(self):
+        """One (rank, epoch) pair per event, but a rank can have several
+        scheduled deaths (relevant when regrow re-admits it)."""
+        FaultPlan(rank_loss=((2, 3), (2, 7)))
+
+
+class TestRankLossInjector:
+    def test_exact_epoch_matching(self):
+        inj = FaultInjector(FaultPlan(rank_loss=((2, 3),)), n_ranks=4)
+        assert inj.lost_ranks(2) == []
+        assert inj.lost_ranks(3) == [2]
+        assert inj.lost_ranks(4) == []
+
+    def test_events_follow_global_ranks_through_renumbering(self):
+        # Shrunk world (0, 1, 3): the event naming the departed global
+        # rank 2 lies dormant; an event for global rank 3 fires at its
+        # *local* index 2.
+        plan = FaultPlan(rank_loss=((2, 3), (3, 5)))
+        inj = FaultInjector(plan, n_ranks=3, global_ranks=(0, 1, 3))
+        assert inj.lost_ranks(3) == []
+        assert inj.lost_ranks(5) == [2]
+
+    def test_multiple_losses_same_epoch_all_reported(self):
+        inj = FaultInjector(FaultPlan(rank_loss=((1, 2), (3, 2))), n_ranks=4)
+        assert inj.lost_ranks(2) == [1, 3]
+
+    def test_global_ranks_validated(self):
+        with pytest.raises(ValueError, match="must name 3 members"):
+            FaultInjector(FaultPlan(), n_ranks=3, global_ranks=(0, 1))
+        with pytest.raises(ValueError, match="duplicates"):
+            FaultInjector(FaultPlan(), n_ranks=3, global_ranks=(0, 1, 1))
+
+    def test_identity_world_still_checks_straggler_range(self):
+        # Explicit global_ranks suspends the straggler range check: a
+        # plan can name ranks absent from the current (shrunk) world.
+        plan = FaultPlan(compute_slowdown=((5, 2.0),))
+        with pytest.raises(ValueError, match="out of range"):
+            FaultInjector(plan, n_ranks=4)
+        inj = FaultInjector(plan, n_ranks=3, global_ranks=(0, 1, 3))
+        assert inj.compute_scale(0) == 1.0

@@ -144,3 +144,58 @@ class TestEntityPartition:
         assert entity_partition(triples, 2).scheme == "entity"
         assert uniform_partition(triples, 2).scheme == "uniform"
         assert relation_partition(triples, 2).scheme == "relation"
+
+
+class TestShrinkRepartition:
+    """Elastic shrink re-runs the scheme on the survivor count; the
+    relation partition's invariants must hold for *every* reachable
+    shrunk world, not just the sizes the examples use."""
+
+    @given(
+        relations=st.lists(st.integers(min_value=0, max_value=15),
+                           min_size=40, max_size=200),
+        world=st.integers(min_value=2, max_value=8),
+        losses=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_relation_split_survives_any_shrink(self, relations, world,
+                                                losses):
+        from repro.kg.partition import make_partition
+
+        triples = triples_with_relations(relations)
+        survivors = max(1, world - losses)
+        n_distinct = len(set(relations))
+        if n_distinct < world:
+            return  # full world itself unpartitionable; nothing to shrink
+        try:
+            part = make_partition(triples, "relation", survivors)
+        except ValueError:
+            # Legal refusal: fewer distinct relations than survivors.
+            assert n_distinct < survivors
+            return
+        assert part.n_parts == survivors
+        assert part.scheme == "relation"
+        # Disjointness is exactly RP's zero-communication precondition.
+        assert part.relations_disjoint()
+        # Every triple lands on exactly one survivor.
+        assert int(part.sizes.sum()) == len(triples)
+        total = np.concatenate([p.to_array() for p in part.parts])
+        assert sorted(map(tuple, total.tolist())) == \
+            sorted(map(tuple, triples.to_array().tolist()))
+
+    @given(
+        relations=st.lists(st.integers(min_value=0, max_value=15),
+                           min_size=40, max_size=200),
+        world=st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_shrink_by_one_is_deterministic(self, relations, world):
+        from repro.kg.partition import make_partition
+
+        triples = triples_with_relations(relations)
+        if len(set(relations)) < world:
+            return
+        first = make_partition(triples, "relation", world - 1)
+        second = make_partition(triples, "relation", world - 1)
+        for a, b in zip(first.parts, second.parts):
+            assert np.array_equal(a.to_array(), b.to_array())

@@ -86,9 +86,105 @@ class TestMain:
         row = json.loads(capsys.readouterr().out)
         assert "comm_retries" not in row
 
-    def test_bad_faults_spec_raises(self, tmp_path):
-        with pytest.raises(ValueError):
-            main(self._args(tmp_path, ["--faults", "frobnicate=1"]))
+    def test_bad_faults_spec_exits_2_with_diagnosis(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, ["--faults", "frobnicate=1"]))
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "frobnicate" in err
+
+
+class TestFaultExitCodes:
+    _args = TestMain._args
+
+    def test_fail_fast_collective_fault_exits_3(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, [
+            "--nodes", "4", "--faults",
+            "drop=0.9,retries=1,policy=fail-fast,seed=5"]))
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "collective fault killed training" in err
+        assert "collective=" in err and "rank=" in err and "epoch=" in err
+
+    def test_unrecovered_rank_loss_exits_3(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, [
+            "--nodes", "4", "--faults", "rankloss=2:2"]))
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "rank loss killed training" in err
+        assert "rank=2" in err and "epoch=2" in err
+
+    def test_rank_loss_past_restart_budget_exits_3(self, tmp_path, capsys):
+        # Two deaths, budget for one: the supervisor recovers the first
+        # and surfaces the second with the same exit code as non-elastic.
+        rc = main(self._args(tmp_path, [
+            "--nodes", "4", "--max-epochs", "4", "--elastic",
+            "--max-restarts", "1",
+            "--faults", "rankloss=2:2,rankloss=1:3"]))
+        assert rc == 3
+        assert "rank loss killed training" in capsys.readouterr().err
+
+
+class TestElasticCli:
+    _args = TestMain._args
+
+    def test_elastic_recovers_and_reports(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, [
+            "--nodes", "4", "--max-epochs", "4", "--elastic", "--json",
+            "--faults", "rankloss=2:2"]))
+        assert rc == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["restarts"] == 1
+        assert row["world_lineage"] == [4, 3]
+        assert row["recovery_hours"] > 0
+        assert row["recovery_log"][0]["action"] == "shrink"
+        assert row["recovery_log"][0]["rank"] == 2
+
+    def test_elastic_text_output_narrates_recovery(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, [
+            "--nodes", "4", "--max-epochs", "4", "--elastic",
+            "--faults", "rankloss=2:2"]))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "elastic : max_restarts=1 regrow=off" in out
+        assert "recovery: shrink rank 2 at epoch 2" in out
+
+    def test_regrow_flag_readmits_rank(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, [
+            "--nodes", "4", "--max-epochs", "4", "--elastic",
+            "--allow-regrow", "--json", "--faults", "rankloss=2:2"]))
+        assert rc == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["world_lineage"] == [4, 3, 4]
+        actions = [e["action"] for e in row["recovery_log"]]
+        assert actions == ["shrink", "regrow"]
+
+    def test_elastic_without_faults_is_transparent(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, ["--nodes", "2", "--elastic",
+                                        "--json"]))
+        assert rc == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["restarts"] == 0 and row["world_lineage"] == [2]
+        assert row["recovery_log"] == []
+
+    def test_checkpoint_keep_flag_prunes(self, tmp_path, capsys):
+        from repro.training.checkpoint import list_checkpoints
+        ckpt = tmp_path / "ckpts"
+        rc = main(self._args(tmp_path, [
+            "--max-epochs", "3", "--checkpoint-dir", str(ckpt),
+            "--checkpoint-keep", "1", "--json"]))
+        assert rc == 0
+        assert [p.name for _, p in list_checkpoints(ckpt)] == ["epoch-0003"]
+
+    def test_checkpoint_keep_zero_keeps_all(self, tmp_path, capsys):
+        from repro.training.checkpoint import list_checkpoints
+        ckpt = tmp_path / "ckpts"
+        rc = main(self._args(tmp_path, [
+            "--max-epochs", "3", "--checkpoint-dir", str(ckpt),
+            "--checkpoint-keep", "0", "--json"]))
+        assert rc == 0
+        assert [p.name for _, p in list_checkpoints(ckpt)] == [
+            "epoch-0001", "epoch-0002", "epoch-0003"]
 
 
 class TestEvalKnobs:

@@ -91,8 +91,10 @@ def test_checkpoint_layout_and_manifest(snapshot):
     assert (path / ARRAYS_NAME).is_file()
     manifest = json.loads((path / MANIFEST_NAME).read_text())
     assert manifest["format"] == "repro-checkpoint"
-    assert manifest["schema_version"] == 1
+    assert manifest["schema_version"] == 2
     assert manifest["epoch"] == 2
+    assert manifest["world_size"] == 3
+    assert manifest["world_lineage"] == [3]
     assert manifest["config_hash"] == trainer.config_fingerprint()
     assert "model/entity_emb" in manifest["arrays"]
     for meta in manifest["arrays"].values():
@@ -255,7 +257,7 @@ def test_empty_directory_is_a_clear_error(tmp_path, store):
 def test_latest_checkpoint_picks_highest_epoch(store, tmp_path):
     trainer = make_trainer(store, maker=baseline_allreduce, n_nodes=1,
                            max_epochs=3, checkpoint_dir=str(tmp_path),
-                           checkpoint_every=1)
+                           checkpoint_every=1, checkpoint_keep=0)
     trainer.run()
     epochs = [epoch for epoch, _ in list_checkpoints(tmp_path)]
     assert epochs == [1, 2, 3]
@@ -263,6 +265,15 @@ def test_latest_checkpoint_picks_highest_epoch(store, tmp_path):
     # Torn-write leftovers (manifest-less dirs) are skipped, not fatal.
     (tmp_path / "epoch-9999").mkdir()
     assert latest_checkpoint(tmp_path).name == "epoch-0003"
+
+
+def test_default_retention_keeps_last_two(store, tmp_path):
+    trainer = make_trainer(store, maker=baseline_allreduce, n_nodes=1,
+                           max_epochs=4, checkpoint_dir=str(tmp_path),
+                           checkpoint_every=1)  # checkpoint_keep defaults to 2
+    trainer.run()
+    epochs = [epoch for epoch, _ in list_checkpoints(tmp_path)]
+    assert epochs == [3, 4]
 
 
 def test_checkpoint_config_validation():
