@@ -1,0 +1,81 @@
+"""Serving-layer traffic microbenchmark — the online query engine.
+
+Not a paper figure: this measures the reproduction's own serving stack.  A
+random mid-size store is served under a Zipfian query stream and the run
+must show the properties the serving layer exists for:
+
+* skewed traffic produces a non-trivial LRU hit rate,
+* a cache hit answers bitwise-identically to the cold miss that filled it,
+* latency percentiles and throughput are positive and sane (p50 <= p99).
+
+Results land in ``BENCH_serve.json`` (path overridable via
+``REPRO_BENCH_SERVE_JSON``) so CI can archive them alongside the eval
+throughput report.
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.kg.triples import TripleSet, TripleStore
+from repro.models import ComplEx
+from repro.serve import EmbeddingStore, QueryEngine, TrafficSpec, \
+    ZipfianTraffic, replay
+
+from conftest import run_once_benchmarked
+
+N_ENTITIES = 4_000
+N_RELATIONS = 60
+N_QUERIES = 4_000
+CACHE_CAPACITY = 1_024
+
+
+def _random_store(rng):
+    def split(n):
+        return TripleSet(heads=rng.integers(0, N_ENTITIES, n),
+                         relations=rng.integers(0, N_RELATIONS, n),
+                         tails=rng.integers(0, N_ENTITIES, n))
+    return TripleStore(n_entities=N_ENTITIES, n_relations=N_RELATIONS,
+                       train=split(20_000), valid=split(1_000),
+                       test=split(1_000), name="serve-traffic")
+
+
+def test_zipfian_traffic_replay(benchmark):
+    rng = np.random.default_rng(7)
+    store = _random_store(rng)
+    model = ComplEx(N_ENTITIES, N_RELATIONS, dim=16, seed=7)
+    engine = QueryEngine(EmbeddingStore.from_model(model, dataset=store),
+                         cache_capacity=CACHE_CAPACITY)
+    traffic = ZipfianTraffic(N_ENTITIES, N_RELATIONS,
+                             spec=TrafficSpec(entity_exponent=1.1), seed=7)
+
+    snapshot = run_once_benchmarked(
+        benchmark, lambda: replay(engine, traffic, N_QUERIES,
+                                  batch_size=64, topk=10))
+
+    # The workload must exercise every query kind and the cache.
+    assert snapshot["n_queries"] == N_QUERIES
+    assert all(count > 0 for count in snapshot["by_kind"].values()), \
+        snapshot["by_kind"]
+    assert snapshot["cache_hit_rate"] > 0.05, \
+        f"Zipfian skew should produce hits, got {snapshot['cache_hit_rate']}"
+    assert snapshot["p99_ms"] > 0
+    assert snapshot["p50_ms"] <= snapshot["p99_ms"]
+    assert snapshot["wall_queries_per_sec"] > 0
+
+    # A hot entry answers bitwise-identically to a cold recompute.
+    hot = engine.topk_tails(int(traffic._entity_ids[0]), 0, k=10)
+    cold_engine = QueryEngine(
+        EmbeddingStore.from_model(model, dataset=store), cache_capacity=0)
+    cold = cold_engine.topk_tails(int(traffic._entity_ids[0]), 0, k=10)
+    assert np.array_equal(hot.entities, cold.entities)
+    assert hot.scores.tobytes() == cold.scores.tobytes()
+
+    out_path = os.environ.get("REPRO_BENCH_SERVE_JSON", "BENCH_serve.json")
+    with open(out_path, "w") as fh:
+        json.dump({**snapshot, "n_entities": N_ENTITIES,
+                   "n_relations": N_RELATIONS,
+                   "cache_capacity": CACHE_CAPACITY}, fh, indent=2,
+                  sort_keys=True)
+        fh.write("\n")

@@ -31,6 +31,9 @@ Subpackages
     the parameter-server comparator.
 ``repro.eval``
     Filtered/raw MRR, Hits@k, triple classification accuracy.
+``repro.serve``
+    Online serving: checkpoint-backed embedding store, cached/batched
+    link-prediction query engine, Zipfian traffic simulator.
 ``repro.bench``
     Harness + paper reference values for every table and figure.
 """
@@ -58,6 +61,7 @@ from .kg import (
 )
 from .models import ComplEx, DistMult, RotatE, TransE, make_model
 from .optim import Adam, PlateauScheduler, scaled_initial_lr
+from .serve import EmbeddingStore, QueryEngine, ZipfianTraffic
 from .training import (
     PRESETS,
     CheckpointConfigMismatchError,
@@ -96,12 +100,14 @@ __all__ = [
     "DistMult",
     "DistributedTrainer",
     "ElasticSupervisor",
+    "EmbeddingStore",
     "FB15K_SPEC",
     "FB250K_SPEC",
     "FaultPlan",
     "NetworkModel",
     "PRESETS",
     "PlateauScheduler",
+    "QueryEngine",
     "RankLossError",
     "RotatE",
     "SparseRows",
@@ -111,6 +117,7 @@ __all__ = [
     "TransE",
     "TripleSet",
     "TripleStore",
+    "ZipfianTraffic",
     "baseline_allgather",
     "baseline_allreduce",
     "drs",

@@ -204,6 +204,39 @@ def print_elastic_table(title: str, results: list[TrainResult]) -> None:
                         5, 8, 10, 11, 9, 10, 10])
 
 
+def serve_summary_row(snapshot: dict) -> dict:
+    """Serving-telemetry columns of one traffic replay snapshot.
+
+    ``snapshot`` is what :func:`repro.serve.replay` (or
+    ``QueryEngine.snapshot``) returns; wall-clock throughput falls back to
+    the engine's service rate when the replay wrapper was not used.
+    """
+    return {
+        "queries": snapshot.get("n_queries", 0),
+        "p50_ms": round(snapshot.get("p50_ms", 0.0), 4),
+        "p99_ms": round(snapshot.get("p99_ms", 0.0), 4),
+        "queries_per_sec": round(
+            snapshot.get("wall_queries_per_sec",
+                         snapshot.get("queries_per_sec", 0.0)), 1),
+        "cache_hit_rate": round(snapshot.get("cache_hit_rate", 0.0), 4),
+        "evictions": snapshot.get("cache_evictions", 0),
+    }
+
+
+def print_serve_table(title: str, snapshots: list[dict]) -> None:
+    """Serving report: latency percentiles, throughput, cache behavior."""
+    header = ["queries", "p50(ms)", "p99(ms)", "q/s", "hit rate",
+              "evictions"]
+    rows = []
+    for snap in snapshots:
+        row = serve_summary_row(snap)
+        rows.append([row["queries"], row["p50_ms"], row["p99_ms"],
+                     row["queries_per_sec"], row["cache_hit_rate"],
+                     row["evictions"]])
+    print_table(title, header, rows,
+                widths=[9, 9, 9, 11, 9, 10])
+
+
 def print_fault_table(title: str, results: list[TrainResult]) -> None:
     """Chaos report: one row per run, fault telemetry next to outcome."""
     header = ["method", "nodes", "retries", "fallbacks", "skew",

@@ -28,8 +28,14 @@ Kill rank 2 at epoch 3 and recover automatically on the survivors::
     python -m repro --strategy DRS+1-bit+RP+SS --nodes 4 \
         --faults "rankloss=2:3" --elastic --max-restarts 2
 
-Exit codes: 0 success, 2 bad checkpoint resume, 3 training killed by an
-unrecovered collective fault or rank loss.
+Serve a trained checkpoint — answer top-10 tail queries and replay a
+Zipfian traffic simulation against it::
+
+    python -m repro serve --checkpoint ckpts --topk 10 --query 12,3
+    python -m repro serve --checkpoint ckpts --simulate 100000
+
+Exit codes: 0 success, 2 bad checkpoint resume/serve or bad query, 3
+training killed by an unrecovered collective fault or rank loss.
 """
 
 from __future__ import annotations
@@ -127,7 +133,151 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    from .models import MODEL_REGISTRY
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve link-prediction queries from a training "
+                    "checkpoint (read-only load; no world reconstruction)")
+    parser.add_argument("--checkpoint", required=True, metavar="DIR",
+                        help="checkpoint directory, or a parent directory "
+                             "(the newest checkpoint under it is served)")
+    parser.add_argument("--model", choices=sorted(MODEL_REGISTRY),
+                        default="complex",
+                        help="architecture that wrote the checkpoint "
+                             "(default: complex)")
+    parser.add_argument("--dataset", choices=sorted(DATASETS),
+                        default="fb15k",
+                        help="dataset family for the known-fact filter "
+                             "(must match the training run)")
+    parser.add_argument("--dataset-file", metavar="PATH",
+                        help="load the filter dataset from a saved store")
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--no-filter", action="store_true",
+                        help="serve raw top-k without excluding known "
+                             "facts (skips loading the dataset)")
+    parser.add_argument("--topk", type=int, default=10)
+    parser.add_argument("--cache-capacity", type=int, default=4096,
+                        metavar="N",
+                        help="LRU result-cache entries (0 disables; "
+                             "default: 4096)")
+    parser.add_argument("--chunk-entities", type=int, default=None,
+                        metavar="N",
+                        help="score at most N candidates at a time "
+                             "(bounds peak memory)")
+    parser.add_argument("--query", action="append", default=[],
+                        metavar="H,R", help="answer top-k tails of (H, R); "
+                                            "repeatable")
+    parser.add_argument("--query-heads", action="append", default=[],
+                        metavar="T,R", help="answer top-k heads of (?, R, T)")
+    parser.add_argument("--nearest", action="append", default=[],
+                        metavar="E", help="answer k nearest neighbors of "
+                                          "entity E (L2)")
+    parser.add_argument("--simulate", type=int, default=0, metavar="N",
+                        help="replay N Zipfian queries and report serving "
+                             "telemetry")
+    parser.add_argument("--zipf", type=float, default=1.0,
+                        help="entity rank-frequency exponent of the "
+                             "simulated traffic (default: 1.0)")
+    parser.add_argument("--batch-size", type=int, default=64, metavar="N",
+                        help="micro-batch window of the traffic replay "
+                             "(default: 64)")
+    parser.add_argument("--traffic-seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true",
+                        help="emit query answers and telemetry as JSON")
+    return parser
+
+
+def _parse_id_pair(text: str, what: str) -> tuple[int, int]:
+    try:
+        first, second = (int(part) for part in text.split(","))
+    except ValueError:
+        raise ValueError(f"bad {what} {text!r}: expected two integers "
+                         f"like '12,3'") from None
+    return first, second
+
+
+def serve_main(argv: list[str]) -> int:
+    from .bench.harness import print_serve_table
+    from .serve import EmbeddingStore, QueryEngine, TrafficSpec, \
+        ZipfianTraffic, replay
+    from .training.checkpoint import CheckpointError
+
+    args = build_serve_parser().parse_args(argv)
+
+    dataset = None
+    if not args.no_filter:
+        if args.dataset_file:
+            dataset = load_store(args.dataset_file)
+        else:
+            dataset = DATASETS[args.dataset](scale=args.scale,
+                                             seed=args.seed)
+    try:
+        store = EmbeddingStore.from_checkpoint(
+            args.checkpoint, model_name=args.model, dataset=dataset)
+    except (CheckpointError, ValueError) as exc:
+        print(f"error: cannot serve {args.checkpoint}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    engine = QueryEngine(store, cache_capacity=args.cache_capacity,
+                         chunk_entities=args.chunk_entities)
+    out: dict = {"store": store.summary(), "answers": []}
+    if not args.json:
+        print(f"serving : {store.summary()}")
+
+    try:
+        queries = ([("tails", *_parse_id_pair(q, "--query"))
+                    for q in args.query]
+                   + [("heads", *_parse_id_pair(q, "--query-heads"))
+                      for q in args.query_heads]
+                   + [("nearest", int(e), -1) for e in args.nearest])
+        for kind, a, r in queries:
+            if kind == "tails":
+                res = engine.topk_tails(a, r, k=args.topk)
+                label = f"top-{args.topk} tails of ({a}, {r}, ?)"
+            elif kind == "heads":
+                res = engine.topk_heads(a, r, k=args.topk)
+                label = f"top-{args.topk} heads of (?, {r}, {a})"
+            else:
+                res = engine.nearest_entities(a, k=args.topk)
+                label = f"{args.topk} nearest neighbors of entity {a}"
+            answer = {"query": label,
+                      "entities": [int(e) for e in res.entities],
+                      "scores": [float(s) for s in res.scores]}
+            out["answers"].append(answer)
+            if not args.json:
+                print(f"\n{label}:")
+                for entity, value in zip(answer["entities"],
+                                         answer["scores"]):
+                    print(f"  {entity:>8}  {value:.6f}")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.simulate > 0:
+        traffic = ZipfianTraffic(store.n_entities, store.n_relations,
+                                 spec=TrafficSpec(entity_exponent=args.zipf),
+                                 seed=args.traffic_seed)
+        snapshot = replay(engine, traffic, args.simulate,
+                          batch_size=args.batch_size, topk=args.topk)
+        out["telemetry"] = snapshot
+        if not args.json:
+            print_serve_table(
+                f"serve traffic ({args.simulate} Zipfian queries)",
+                [snapshot])
+    if args.json:
+        json.dump(out, sys.stdout, indent=2)
+        print()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.dataset_file:

@@ -6,7 +6,7 @@ from .classification import (
     fit_thresholds,
 )
 from .ranking import FILTER_IMPLS, RankingResult, evaluate_ranking, \
-    rank_triples
+    rank_triples, scatter_known_nan
 
 __all__ = [
     "ClassificationResult",
@@ -16,4 +16,5 @@ __all__ = [
     "evaluate_ranking",
     "fit_thresholds",
     "rank_triples",
+    "scatter_known_nan",
 ]

@@ -96,6 +96,38 @@ def _filtered_naive(scores: np.ndarray, store: TripleStore,
     return masked, n_entities - known.sum(axis=1)
 
 
+def scatter_known_nan(scores: np.ndarray, index,
+                      anchor: np.ndarray, r: np.ndarray,
+                      tail_side: bool = True,
+                      keep: np.ndarray | None = None
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Mask each query's known candidates to NaN via a CSR filter index.
+
+    The shared filter primitive behind both filtered evaluation and the
+    serving layer's known-fact exclusion.  ``anchor`` is the fixed entity of
+    each query — the head for tail replacement (``tail_side=True``), the
+    tail otherwise.  ``keep``, when given, names one candidate column per
+    query whose score is restored after the scatter: the evaluation
+    protocol never filters the query triple itself.  ``keep=None`` masks
+    *every* known fact — serving has no gold entity to exempt.
+
+    Returns ``(masked copy, per-query surviving candidate count)``.
+    """
+    b, n_entities = scores.shape
+    if tail_side:
+        rows, cols, counts = index.known_tails(anchor, r)
+    else:
+        rows, cols, counts = index.known_heads(r, anchor)
+    masked = scores.copy()
+    masked[rows, cols] = np.nan
+    if keep is None:
+        return masked, n_entities - counts
+    query_rows = np.arange(b)
+    kept_was_masked = np.isnan(masked[query_rows, keep])
+    masked[query_rows, keep] = scores[query_rows, keep]
+    return masked, n_entities - (counts - kept_was_masked)
+
+
 def _filtered_csr(scores: np.ndarray, store: TripleStore,
                   h: np.ndarray, r: np.ndarray, t: np.ndarray,
                   tail_side: bool) -> tuple[np.ndarray, np.ndarray]:
@@ -106,20 +138,11 @@ def _filtered_csr(scores: np.ndarray, store: TripleStore,
     held before the scatter, which keeps ranks bitwise identical to the
     naive mask.
     """
-    b, n_entities = scores.shape
-    index = store.filter_index
     if tail_side:
-        rows, cols, counts = index.known_tails(h, r)
-        own = t
-    else:
-        rows, cols, counts = index.known_heads(r, t)
-        own = h
-    masked = scores.copy()
-    masked[rows, cols] = np.nan
-    query_rows = np.arange(b)
-    own_filtered = np.isnan(masked[query_rows, own])
-    masked[query_rows, own] = scores[query_rows, own]
-    return masked, n_entities - (counts - own_filtered)
+        return scatter_known_nan(scores, store.filter_index, h, r,
+                                 tail_side=True, keep=t)
+    return scatter_known_nan(scores, store.filter_index, t, r,
+                             tail_side=False, keep=h)
 
 
 _FILTER_FNS = {"csr": _filtered_csr, "naive": _filtered_naive}

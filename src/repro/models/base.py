@@ -149,6 +149,24 @@ class KGEModel(abc.ABC):
         relation_grad = SparseRows.from_rows(r, g_r, n_rows=self.n_relations)
         return entity_grad, relation_grad
 
+    # -- geometry access ---------------------------------------------------
+
+    def entity_components(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """The entity matrix split into its geometric components.
+
+        Real-valued models return ``(entity_emb, None)``.  Complex-valued
+        models (``width_factor == 2``) store each entity as ``[real | imag]``
+        *halves* — NOT interleaved ``(re, im)`` pairs — so the d-th complex
+        coordinate of entity ``i`` is ``(emb[i, d], emb[i, dim + d])``.
+        Geometry-aware consumers (nearest-neighbor search over complex
+        embeddings) must pair components through this accessor; reshaping
+        the row to ``(dim, 2)`` or truncating to the first ``dim`` columns
+        silently mixes real and imaginary parts of different coordinates.
+        """
+        if self.width_factor == 1:
+            return self.entity_emb, None
+        return self.entity_emb[:, :self.dim], self.entity_emb[:, self.dim:]
+
     # -- parameter access --------------------------------------------------
 
     def copy(self) -> "KGEModel":

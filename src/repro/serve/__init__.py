@@ -1,0 +1,28 @@
+"""Online serving layer: checkpoint-backed link-prediction queries.
+
+The training stack ends at a checkpoint; this package starts there.  A
+:class:`EmbeddingStore` loads a snapshot read-only, a :class:`QueryEngine`
+answers ``score`` / ``topk_tails`` / ``topk_heads`` / ``nearest_entities``
+queries through the chunked scoring blocks and CSR known-fact filter the
+evaluator uses, an exact :class:`LRUCache` absorbs skewed traffic, and
+:class:`ServeStats` reports latency percentiles and hit rates.
+:class:`ZipfianTraffic` + :func:`replay` simulate the "millions of users"
+workload for benchmarks.  See ``docs/serving.md``.
+"""
+
+from .cache import LRUCache
+from .engine import QueryEngine, TopKResult
+from .stats import ServeStats
+from .store import EmbeddingStore
+from .traffic import TrafficSpec, ZipfianTraffic, replay
+
+__all__ = [
+    "EmbeddingStore",
+    "LRUCache",
+    "QueryEngine",
+    "ServeStats",
+    "TopKResult",
+    "TrafficSpec",
+    "ZipfianTraffic",
+    "replay",
+]

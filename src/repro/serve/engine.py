@@ -1,0 +1,287 @@
+"""Batched, cached link-prediction query engine.
+
+The engine answers four query shapes against a frozen
+:class:`~repro.serve.store.EmbeddingStore`:
+
+``score(h, r, t)``
+    Plausibility of one (or a batch of) explicit triple(s).
+``topk_tails(h, r, k)`` / ``topk_heads(t, r, k)``
+    The k most plausible completions of a partial triple, scored through
+    the *same* chunked ``score_tails_block`` / ``score_heads_block`` path
+    filtered evaluation uses, with known facts excluded by scattering the
+    CSR :class:`~repro.kg.triples.FilterIndex` — the serve-time twin of
+    eval's filtered protocol (minus the gold-entity exemption: a live
+    query has no gold entity).
+``nearest_entities(e, k)``
+    Embedding-space neighbors under L2 or cosine geometry, with complex
+    models' ``[real | imag]`` half layout paired per coordinate through
+    :meth:`~repro.models.base.KGEModel.entity_components`.
+
+Two serving mechanisms sit on top of raw scoring:
+
+* an exact-LRU result cache keyed on every input that shapes the answer
+  ``(direction, anchor, relation, k, filtered)`` — skewed traffic makes
+  even a small cache absorb most of the load;
+* per-``(relation, direction)`` micro-batching: :meth:`topk_batch`
+  coalesces the cache-missing queries that share a relation and direction
+  into **one** chunked scoring call, deduplicating repeated anchors, so a
+  burst of queries against a hot relation costs one matrix pass.
+
+Determinism contract: top-k ordering is *descending score, ascending
+entity id* (stable sort), the scores returned are the bytes the scoring
+blocks produced, and a cache hit returns the identical immutable result
+object a cold miss computed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..eval.ranking import scatter_known_nan
+from .cache import LRUCache
+from .stats import ServeStats
+from .store import EmbeddingStore
+
+METRICS = ("l2", "cosine")
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """One answered top-k query.
+
+    ``scores`` are raw model scores for link-prediction queries (higher is
+    better), distances for ``metric="l2"`` neighbor queries (lower is
+    better, returned ascending) and similarities for ``metric="cosine"``
+    (higher is better, returned descending).
+    """
+
+    entities: np.ndarray
+    scores: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.entities.setflags(write=False)
+        self.scores.setflags(write=False)
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+
+def _topk_row(row: np.ndarray, k: int) -> TopKResult:
+    """Top-k of one score row under the tie-break contract.
+
+    NaN entries (filtered-out candidates) never appear: ``-row`` keeps
+    them NaN and NumPy's stable argsort sinks NaN to the end, so they can
+    only surface once every real candidate is exhausted — which the
+    surviving-candidate cap prevents.
+    """
+    n_valid = int((~np.isnan(row)).sum())
+    take = min(k, n_valid)
+    order = np.argsort(-row, kind="stable")[:take]
+    return TopKResult(entities=order.astype(np.int64), scores=row[order])
+
+
+class QueryEngine:
+    """Serving facade over one :class:`EmbeddingStore`."""
+
+    def __init__(self, store: EmbeddingStore, cache_capacity: int = 4096,
+                 chunk_entities: int | None = None):
+        self.store = store
+        self.cache = LRUCache(cache_capacity)
+        self.stats = ServeStats()
+        self.chunk_entities = chunk_entities
+
+    # -- filtering ---------------------------------------------------------
+
+    def _resolve_filtered(self, filtered: bool | None) -> bool:
+        if filtered is None:
+            return self.store.filter_index is not None
+        if filtered and self.store.filter_index is None:
+            raise ValueError(
+                "filtered queries need a filter index; build the store "
+                "with a dataset (EmbeddingStore.from_checkpoint(..., "
+                "dataset=...)) or pass filtered=False")
+        return filtered
+
+    # -- score -------------------------------------------------------------
+
+    def score(self, h, r, t):
+        """Model score(s) of explicit triples; scalar in, scalar out."""
+        start = time.perf_counter()
+        scalar = np.isscalar(h) or getattr(h, "ndim", 0) == 0
+        scores = self.store.model.score(np.atleast_1d(h), np.atleast_1d(r),
+                                        np.atleast_1d(t))
+        self.stats.record("score", time.perf_counter() - start,
+                          cache_hit=None)
+        return float(scores[0]) if scalar else scores
+
+    # -- top-k link prediction ---------------------------------------------
+
+    def topk_tails(self, h: int, r: int, k: int = 10,
+                   filtered: bool | None = None) -> TopKResult:
+        """The k best tails of ``(h, r, ?)``."""
+        return self.topk_batch([(h, r)], k=k, filtered=filtered,
+                               tail_side=True)[0]
+
+    def topk_heads(self, t: int, r: int, k: int = 10,
+                   filtered: bool | None = None) -> TopKResult:
+        """The k best heads of ``(?, r, t)``."""
+        return self.topk_batch([(t, r)], k=k, filtered=filtered,
+                               tail_side=False)[0]
+
+    def topk_batch(self, queries, k: int = 10,
+                   filtered: bool | None = None,
+                   tail_side: bool | None = True) -> list[TopKResult]:
+        """Answer many ``(anchor, relation)`` queries, coalesced.
+
+        ``queries`` is a sequence of ``(anchor, relation)`` pairs (with
+        ``tail_side`` fixing the direction) or ``(anchor, relation,
+        tail_side)`` triples (``tail_side=None`` here).  Cache hits are
+        answered immediately; the misses are grouped per ``(relation,
+        direction)``, repeated anchors deduplicated, and each group scored
+        in one chunked block call.  Results come back in query order.
+
+        Latency accounting: a coalesced group's scoring time is split
+        evenly across the queries it answered, so percentiles reflect
+        per-query service cost, not burst size.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        filt = self._resolve_filtered(filtered)
+        results: list[TopKResult | None] = [None] * len(queries)
+        groups: dict[tuple[int, bool], list[tuple[int, int]]] = {}
+
+        for i, query in enumerate(queries):
+            if tail_side is None:
+                anchor, rel, side = query
+            else:
+                anchor, rel = query
+                side = tail_side
+            anchor, rel, side = int(anchor), int(rel), bool(side)
+            self._check_ids(anchor, rel)
+            start = time.perf_counter()
+            key = ("tails" if side else "heads", anchor, rel, k, filt)
+            hit = self.cache.get(key)
+            kind = "topk_tails" if side else "topk_heads"
+            if hit is not None:
+                results[i] = hit
+                self.stats.record(kind, time.perf_counter() - start,
+                                  cache_hit=True)
+            else:
+                groups.setdefault((rel, side), []).append((i, anchor))
+
+        for (rel, side), members in groups.items():
+            start = time.perf_counter()
+            anchors = np.array([a for _, a in members], dtype=np.int64)
+            unique, inverse = np.unique(anchors, return_inverse=True)
+            scored = self._group_topk(unique, rel, side, k, filt)
+            elapsed = time.perf_counter() - start
+            share = elapsed / len(members)
+            kind = "topk_tails" if side else "topk_heads"
+            for (i, anchor), u in zip(members, inverse):
+                result = scored[u]
+                results[i] = result
+                key = ("tails" if side else "heads", anchor, rel, k, filt)
+                self.cache.put(key, result)
+                self.stats.record(kind, share, cache_hit=False)
+        return results
+
+    def _group_topk(self, anchors: np.ndarray, rel: int, tail_side: bool,
+                    k: int, filtered: bool) -> list[TopKResult]:
+        """One chunked scoring call for every anchor sharing a relation."""
+        model = self.store.model
+        rels = np.full(len(anchors), rel, dtype=np.int64)
+        if tail_side:
+            scores = model.score_all_tails(anchors, rels,
+                                           chunk_entities=self.chunk_entities)
+        else:
+            scores = model.score_all_heads(rels, anchors,
+                                           chunk_entities=self.chunk_entities)
+        if filtered:
+            scores, _ = scatter_known_nan(scores, self.store.filter_index,
+                                          anchors, rels, tail_side=tail_side,
+                                          keep=None)
+        return [_topk_row(scores[i], k) for i in range(len(anchors))]
+
+    # -- nearest neighbors ---------------------------------------------------
+
+    def nearest_entities(self, e: int, k: int = 10, metric: str = "l2",
+                         exclude_self: bool = True) -> TopKResult:
+        """Embedding-space neighbors of entity ``e``.
+
+        ``metric="l2"`` returns ascending Euclidean distances over the
+        entity's full geometric coordinates; ``metric="cosine"`` returns
+        descending cosine similarities.  Complex-valued models (ComplEx,
+        RotatE) store ``[real | imag]`` halves — components are paired per
+        complex coordinate via ``entity_components()``, never by reshaping
+        the raw row (which would marry the real part of one coordinate to
+        the imaginary part of another).  Ties break toward the smaller
+        entity id, so an entity is always its own nearest neighbor when
+        ``exclude_self=False``.
+        """
+        if metric not in METRICS:
+            raise ValueError(f"unknown metric {metric!r}; one of {METRICS}")
+        e = int(e)
+        if not 0 <= e < self.store.n_entities:
+            raise ValueError(f"entity id {e} outside "
+                             f"[0, {self.store.n_entities})")
+        start = time.perf_counter()
+        key = ("nearest", e, metric, k, exclude_self)
+        hit = self.cache.get(key)
+        if hit is not None:
+            self.stats.record("nearest", time.perf_counter() - start,
+                              cache_hit=True)
+            return hit
+
+        re, im = self.store.model.entity_components()
+        if metric == "l2":
+            diff = re - re[e]
+            sq = np.einsum("ij,ij->i", diff, diff)
+            if im is not None:
+                diff_im = im - im[e]
+                sq = sq + np.einsum("ij,ij->i", diff_im, diff_im)
+            values = np.sqrt(sq)
+            ranking = values  # ascending
+        else:
+            dots = re @ re[e]
+            self_sq = re[e] @ re[e]
+            norms_sq = np.einsum("ij,ij->i", re, re)
+            if im is not None:
+                dots = dots + im @ im[e]
+                self_sq = self_sq + im[e] @ im[e]
+                norms_sq = norms_sq + np.einsum("ij,ij->i", im, im)
+            denom = np.sqrt(norms_sq) * np.sqrt(self_sq)
+            values = dots / np.maximum(denom, 1e-12)
+            ranking = -values  # similarity: descending
+        if exclude_self:
+            ranking = ranking.copy()
+            ranking[e] = np.inf
+        order = np.argsort(ranking, kind="stable")
+        take = min(k, len(order) - (1 if exclude_self else 0))
+        order = order[:take]
+        result = TopKResult(entities=order.astype(np.int64),
+                            scores=values[order])
+        self.cache.put(key, result)
+        self.stats.record("nearest", time.perf_counter() - start,
+                          cache_hit=False)
+        return result
+
+    # -- misc ----------------------------------------------------------------
+
+    def _check_ids(self, anchor: int, rel: int) -> None:
+        if not 0 <= anchor < self.store.n_entities:
+            raise ValueError(
+                f"entity id {anchor} outside [0, {self.store.n_entities})")
+        if not 0 <= rel < self.store.n_relations:
+            raise ValueError(
+                f"relation id {rel} outside [0, {self.store.n_relations})")
+
+    def snapshot(self) -> dict:
+        """Telemetry summary: stats plus live cache counters."""
+        out = self.stats.snapshot()
+        out.update(cache_size=len(self.cache),
+                   cache_capacity=self.cache.capacity,
+                   cache_evictions=self.cache.evictions)
+        return out

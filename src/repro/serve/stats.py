@@ -1,0 +1,82 @@
+"""Serve-side telemetry: query counts, latency percentiles, cache hit rate.
+
+Every query answered by the engine records one ``(kind, latency,
+cache_hit)`` observation.  Latencies are kept in a compact ``array('d')``
+(8 bytes per query — a million queries is 8 MB) so percentiles are exact,
+not sketched; ``snapshot()`` folds everything into the flat dict the CLI,
+the traffic benchmark and ``BENCH_serve.json`` share.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import numpy as np
+
+#: Query kinds the engine reports.
+KINDS = ("score", "topk_tails", "topk_heads", "nearest")
+
+
+class ServeStats:
+    """Accumulates per-query telemetry for one engine's lifetime."""
+
+    def __init__(self) -> None:
+        self.by_kind = {kind: 0 for kind in KINDS}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._latencies = array("d")
+
+    @property
+    def n_queries(self) -> int:
+        return sum(self.by_kind.values())
+
+    @property
+    def cache_hit_rate(self) -> float:
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
+
+    def record(self, kind: str, seconds: float, cache_hit: bool | None) -> None:
+        """One answered query: ``cache_hit=None`` means the query kind is
+        not cacheable (plain ``score`` calls bypass the result cache)."""
+        if kind not in self.by_kind:
+            raise ValueError(f"unknown query kind {kind!r}; one of {KINDS}")
+        self.by_kind[kind] += 1
+        self._latencies.append(float(seconds))
+        if cache_hit is True:
+            self.cache_hits += 1
+        elif cache_hit is False:
+            self.cache_misses += 1
+
+    def latency_percentiles(self, qs=(50.0, 99.0)) -> dict:
+        """Exact latency percentiles in milliseconds, keyed ``p50``-style."""
+        if not self._latencies:
+            return {f"p{q:g}_ms": 0.0 for q in qs}
+        lat = np.frombuffer(self._latencies, dtype=np.float64)
+        values = np.percentile(lat, qs)
+        return {f"p{q:g}_ms": float(v) * 1e3 for q, v in zip(qs, values)}
+
+    def snapshot(self) -> dict:
+        """Flat summary: counts, p50/p99/mean latency, service rate, cache.
+
+        ``queries_per_sec`` is the *service* rate — queries over summed
+        in-engine latency — which excludes whatever the caller did between
+        queries; a traffic benchmark measuring wall-clock throughput should
+        prefer its own end-to-end timer.
+        """
+        total = 0.0
+        if self._latencies:
+            total = float(np.frombuffer(self._latencies,
+                                        dtype=np.float64).sum())
+        n = self.n_queries
+        out = {
+            "n_queries": n,
+            "by_kind": dict(self.by_kind),
+            "mean_ms": (total / n) * 1e3 if n else 0.0,
+            "busy_seconds": total,
+            "queries_per_sec": n / total if total > 0 else 0.0,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+        out.update(self.latency_percentiles())
+        return out

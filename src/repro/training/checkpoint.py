@@ -562,6 +562,28 @@ def load_checkpoint(path: str | Path,
                             for w in manifest.get("world_lineage", [])))
 
 
+def load_for_serving(path: str | Path) -> CheckpointState:
+    """Load a checkpoint for read-only consumption (the serving layer).
+
+    ``path`` may be a checkpoint directory or a parent holding several, in
+    which case the highest-epoch snapshot is used.  Validation is the full
+    taxonomy — corrupt JSON, failed checksums, missing arrays and foreign
+    schema versions raise their specific :class:`CheckpointError` subclass
+    exactly as a resume would — but two resume-only gates are deliberately
+    absent: no config fingerprint is demanded (a server does not rebuild
+    the training run, it only reads the embeddings) and a world-lineage
+    mismatch is fine (serving needs no world reconstruction, so a snapshot
+    captured mid-shrink by the elastic supervisor serves as well as any).
+    """
+    path = Path(path)
+    if not (path / MANIFEST_NAME).is_file():
+        found = latest_checkpoint(path)
+        if found is None:
+            raise CheckpointError(f"no checkpoint found under {path}")
+        path = found
+    return load_checkpoint(path)
+
+
 # ---------------------------------------------------------------------------
 # Checkpoint discovery
 # ---------------------------------------------------------------------------

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, build_serve_parser, main
 from repro.kg.datasets import make_tiny_kg, save_store
 
 
@@ -219,3 +219,92 @@ class TestEvalKnobs:
         assert rc == 0
         row = json.loads(capsys.readouterr().out)
         assert row["eval_seconds"] > 0
+
+
+@pytest.fixture(scope="module")
+def served_checkpoint(tmp_path_factory):
+    """A tiny trained checkpoint plus its dataset file, made via the
+    training CLI so the serve CLI is tested end to end."""
+    root = tmp_path_factory.mktemp("serve-cli")
+    store = make_tiny_kg()
+    dataset_file = str(root / "kg.npz")
+    save_store(store, dataset_file)
+    ckpt_dir = str(root / "ckpts")
+    rc = main(["--dataset-file", dataset_file, "--dim", "8",
+               "--batch-size", "128", "--max-epochs", "2", "--patience", "5",
+               "--warmup", "0", "--checkpoint-dir", ckpt_dir, "--json"])
+    assert rc == 0
+    return ckpt_dir, dataset_file
+
+
+class TestServeCli:
+    def test_serve_defaults(self):
+        args = build_serve_parser().parse_args(["--checkpoint", "x"])
+        assert args.model == "complex"
+        assert args.topk == 10
+        assert args.cache_capacity == 4096
+
+    def test_serve_queries_text(self, served_checkpoint, capsys):
+        ckpt, dataset_file = served_checkpoint
+        rc = main(["serve", "--checkpoint", ckpt,
+                   "--dataset-file", dataset_file,
+                   "--query", "3,1", "--query-heads", "4,2",
+                   "--nearest", "7", "--topk", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving :" in out
+        assert "top-5 tails of (3, 1, ?)" in out
+        assert "top-5 heads of (?, 2, 4)" in out
+        assert "5 nearest neighbors of entity 7" in out
+
+    def test_serve_json_with_simulation(self, served_checkpoint, capsys):
+        ckpt, dataset_file = served_checkpoint
+        rc = main(["serve", "--checkpoint", ckpt,
+                   "--dataset-file", dataset_file, "--query", "3,1",
+                   "--simulate", "300", "--batch-size", "32", "--json"])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["store"]["model"] == "ComplEx"
+        assert len(out["answers"]) == 1
+        answer = out["answers"][0]
+        assert len(answer["entities"]) == 10
+        assert answer["scores"] == sorted(answer["scores"], reverse=True)
+        telemetry = out["telemetry"]
+        assert telemetry["n_queries"] == 301  # 300 replayed + 1 direct
+        assert telemetry["p99_ms"] > 0
+        assert telemetry["cache_hit_rate"] > 0
+
+    def test_serve_no_filter_skips_dataset(self, served_checkpoint, capsys):
+        ckpt, _ = served_checkpoint
+        rc = main(["serve", "--checkpoint", ckpt, "--no-filter",
+                   "--query", "0,0", "--json"])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["store"]["filtered"] is False
+
+    def test_missing_checkpoint_exits_2(self, tmp_path, capsys):
+        rc = main(["serve", "--checkpoint", str(tmp_path / "nope"),
+                   "--no-filter"])
+        assert rc == 2
+        assert "cannot serve" in capsys.readouterr().err
+
+    def test_wrong_model_name_exits_2(self, served_checkpoint, capsys):
+        ckpt, _ = served_checkpoint
+        rc = main(["serve", "--checkpoint", ckpt, "--model", "rotate",
+                   "--no-filter"])
+        assert rc == 2
+        assert "cannot serve" in capsys.readouterr().err
+
+    def test_malformed_query_exits_2(self, served_checkpoint, capsys):
+        ckpt, _ = served_checkpoint
+        rc = main(["serve", "--checkpoint", ckpt, "--no-filter",
+                   "--query", "3:1"])
+        assert rc == 2
+        assert "bad --query" in capsys.readouterr().err
+
+    def test_out_of_range_id_exits_2(self, served_checkpoint, capsys):
+        ckpt, _ = served_checkpoint
+        rc = main(["serve", "--checkpoint", ckpt, "--no-filter",
+                   "--query", "99999,0"])
+        assert rc == 2
+        assert "entity id" in capsys.readouterr().err
