@@ -10,7 +10,13 @@ from .datasets import (
     make_wn18_like,
     save_store,
 )
-from .negative import NegativeBatch, corrupt_batch, select_all, select_hardest
+from .negative import (
+    NegativeBatch,
+    corrupt_batch,
+    mask_known_candidates,
+    select_all,
+    select_hardest,
+)
 from .partition import (
     PARTITION_SCHEMES,
     Partition,
@@ -19,10 +25,23 @@ from .partition import (
     relation_partition,
     uniform_partition,
 )
+from .spmat import (
+    ACCUM_IMPLS,
+    CSRMatrix,
+    FoldPlan,
+    build_fold_plan,
+    fold_rows,
+)
 from .triples import FilterIndex, TripleSet, TripleStore, encode_triples
 
 __all__ = [
+    "ACCUM_IMPLS",
+    "CSRMatrix",
     "FilterIndex",
+    "FoldPlan",
+    "build_fold_plan",
+    "fold_rows",
+    "mask_known_candidates",
     "GraphStats",
     "analyze",
     "describe",

@@ -96,6 +96,33 @@ def corrupt_batch(
     return NegativeBatch(heads=h, relations=r, tails=t)
 
 
+def mask_known_candidates(scores: np.ndarray,
+                          known: np.ndarray) -> np.ndarray:
+    """Mask known-fact candidates out of a hardest-negative score matrix.
+
+    Hardest-selection is adversarial: among uniform corruptions, any that
+    happen to be true facts score highest and would be trained as
+    negatives, directly damaging the model.  Known candidates get ``-inf``
+    so :func:`select_hardest` never picks them (OpenKE-style filtered
+    corruption, which the paper's pipeline used).
+
+    Degenerate rows where *every* candidate is a known fact (possible on
+    dense graphs or tiny entity vocabularies) fall back to the raw,
+    unmasked scores: an all ``-inf`` row would make ``argmax``/
+    ``argpartition`` pick an arbitrary true fact anyway, and with the raw
+    scores restored the selection at least stays deterministic in the
+    model's ordering instead of degenerating on index 0 ties.
+    """
+    if scores.shape != known.shape:
+        raise ValueError(
+            f"scores shape {scores.shape} != known shape {known.shape}")
+    masked = np.where(known, -np.inf, scores)
+    fully_masked = known.all(axis=1)
+    if fully_masked.any():
+        masked[fully_masked] = scores[fully_masked]
+    return masked
+
+
 def select_hardest(batch: NegativeBatch, scores: np.ndarray,
                    m: int = 1) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Keep the ``m`` hardest candidates per positive given model scores.

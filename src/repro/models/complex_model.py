@@ -48,15 +48,24 @@ class ComplEx(KGEModel):
         r_re, r_im = self._split(self.relation_emb[r])
         t_re, t_im = self._split(self.entity_emb[t])
 
+        # Each block is written half-by-half into its destination instead
+        # of concatenating two temporaries — same multiplications in the
+        # same order (bitwise-identical values), one less full-block copy
+        # per gradient.
+        dim, width = self.dim, 2 * self.dim
+        b = len(h)
+        g_h = np.empty((b, width), dtype=np.float32)
+        g_r = np.empty((b, width), dtype=np.float32)
+        g_t = np.empty((b, width), dtype=np.float32)
         # d phi / d h = (r_re t_re + r_im t_im, r_re t_im - r_im t_re)
-        g_h = np.concatenate([u * (r_re * t_re + r_im * t_im),
-                              u * (r_re * t_im - r_im * t_re)], axis=1)
+        np.multiply(u, r_re * t_re + r_im * t_im, out=g_h[:, :dim])
+        np.multiply(u, r_re * t_im - r_im * t_re, out=g_h[:, dim:])
         # d phi / d r = (h_re t_re + h_im t_im, h_re t_im - h_im t_re)
-        g_r = np.concatenate([u * (h_re * t_re + h_im * t_im),
-                              u * (h_re * t_im - h_im * t_re)], axis=1)
+        np.multiply(u, h_re * t_re + h_im * t_im, out=g_r[:, :dim])
+        np.multiply(u, h_re * t_im - h_im * t_re, out=g_r[:, dim:])
         # d phi / d t = (h_re r_re - h_im r_im, h_re r_im + h_im r_re)
-        g_t = np.concatenate([u * (h_re * r_re - h_im * r_im),
-                              u * (h_re * r_im + h_im * r_re)], axis=1)
+        np.multiply(u, h_re * r_re - h_im * r_im, out=g_t[:, :dim])
+        np.multiply(u, h_re * r_im + h_im * r_re, out=g_t[:, dim:])
         return g_h, g_r, g_t
 
     def score_tails_block(self, h: np.ndarray, r: np.ndarray,

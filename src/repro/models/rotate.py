@@ -65,8 +65,9 @@ class RotatE(KGEModel):
         g_t = np.concatenate([w * (-du), w * (-dv)], axis=1)
         # d u/d theta = -hr_im, d v/d theta = hr_re
         g_r = w * (du * (-hr_im) + dv * hr_re)
-        return (g_h.astype(np.float32), g_r.astype(np.float32),
-                g_t.astype(np.float32))
+        # Every operand above is float32, so the products already are; an
+        # astype here would copy all three blocks once per batch.
+        return g_h, g_r, g_t
 
     def _rotated_heads(self, h, r):
         h_re, h_im = self._split(self.entity_emb[np.asarray(h, dtype=np.int64)])

@@ -6,8 +6,9 @@ state is dense (same shape as the parameter) but only touched rows pay the
 update cost — this mirrors TensorFlow's sparse Adam behaviour the paper's
 Horovod setup used.
 
-Bias correction uses a per-row step count (``lazy`` mode, the TF/Keras
-sparse semantics) or a global step (``dense`` mode).
+Bias correction always uses per-row step counts (the TF/Keras lazy sparse
+semantics).  A dense update advances every row at once, so exclusively
+dense usage recovers the classic global step count as a special case.
 """
 
 from __future__ import annotations
@@ -49,32 +50,66 @@ class AdamState:
         idx = grad.indices
         if len(idx) == 0:
             return
+        # The hot path of every synchronous step (called twice per step,
+        # on rows the whole cluster touched).  Written with single gathers
+        # and in-place float64 bias correction; every reordering below is
+        # an IEEE-754 no-op (commuted multiplies, out= on the same op
+        # sequence), so results stay bitwise-identical to the plain form.
         g = grad.values
-        self.steps[idx] += 1
-        t = self.steps[idx].astype(np.float64)[:, None]
+        t_int = self.steps[idx]  # fancy indexing copies; safe to bump
+        t_int += 1
+        self.steps[idx] = t_int
+        t = t_int.astype(np.float64)[:, None]
 
-        m = self.m[idx]
-        v = self.v[idx]
+        m = np.take(self.m, idx, axis=0)
+        v = np.take(self.v, idx, axis=0)
         m *= self.beta1
-        m += (1.0 - self.beta1) * g
+        m += g * (1.0 - self.beta1)
+        gg = g * g
+        gg *= 1.0 - self.beta2
         v *= self.beta2
-        v += (1.0 - self.beta2) * (g * g)
+        v += gg
         self.m[idx] = m
         self.v[idx] = v
 
         m_hat = m / (1.0 - self.beta1 ** t)
         v_hat = v / (1.0 - self.beta2 ** t)
-        param[idx] -= (lr * m_hat / (np.sqrt(v_hat) + self.eps)).astype(np.float32)
+        np.sqrt(v_hat, out=v_hat)
+        v_hat += self.eps
+        m_hat *= lr
+        m_hat /= v_hat
+        param[idx] -= m_hat.astype(np.float32)
 
     def apply_dense(self, param: np.ndarray, grad: np.ndarray,
                     lr: float) -> None:
-        """In-place Adam update with a dense gradient (global step count)."""
+        """In-place Adam update of every row with a dense gradient.
+
+        Semantically :meth:`apply_sparse` with all rows present: every
+        row's step counter advances by one, so a state driven exclusively
+        through this method sees the classic global step count, and mixed
+        dense/sparse usage stays consistent with the lazy per-row
+        semantics.  Implemented directly — no index array, row gathers or
+        scatter-backs are materialised for the all-rows case — with
+        bitwise-identical results to the sparse path.
+        """
+        if param.shape != self.m.shape:
+            raise ValueError(
+                f"param shape {param.shape} does not match optimiser state "
+                f"{self.m.shape}")
         if param.shape != grad.shape:
             raise ValueError(f"param {param.shape} vs grad {grad.shape}")
-        dense = SparseRows(indices=np.arange(param.shape[0]),
-                           values=np.asarray(grad, dtype=np.float32),
-                           n_rows=param.shape[0])
-        self.apply_sparse(param, dense, lr)
+        g = np.asarray(grad, dtype=np.float32)
+        self.steps += 1
+        t = self.steps.astype(np.float64)[:, None]
+
+        self.m *= self.beta1
+        self.m += (1.0 - self.beta1) * g
+        self.v *= self.beta2
+        self.v += (1.0 - self.beta2) * (g * g)
+
+        m_hat = self.m / (1.0 - self.beta1 ** t)
+        v_hat = self.v / (1.0 - self.beta2 ** t)
+        param -= (lr * m_hat / (np.sqrt(v_hat) + self.eps)).astype(np.float32)
 
 
 class Adam:

@@ -42,10 +42,11 @@ from ..compress.error_feedback import ResidualStore
 from ..compress.quantization import dequantize, quantization_error, \
     quantize_1bit, quantize_2bit
 from ..compress.selection import select
-from ..config import DEFAULT_SEED
+from ..config import DEFAULT_ACCUM_IMPL, DEFAULT_SEED
 from ..eval.classification import evaluate_classification
 from ..eval.ranking import FILTER_IMPLS, RankingResult, evaluate_ranking
 from ..kg.partition import make_partition
+from ..kg.spmat import ACCUM_IMPLS
 from ..kg.triples import TripleStore
 from ..models import make_model
 from ..optim.adam import Adam
@@ -91,6 +92,11 @@ class TrainConfig:
     #: Epochs of uniform negatives before hardest-negative selection kicks
     #: in (-1 = follow lr_warmup_epochs).  See Worker.compute_step.
     ss_warmup_epochs: int = -1
+    #: Gradient accumulation kernel: "csr" folds per-example gradient
+    #: blocks through a per-batch incidence CSR (fast), "naive" is the
+    #: reference scatter-add.  Bitwise-identical trajectories either way;
+    #: see repro.kg.spmat.
+    accum_impl: str = DEFAULT_ACCUM_IMPL
 
     #: Simulated-hours scale: multiplies modeled seconds when reporting
     #: hours, letting scaled-down runs report paper-magnitude numbers.
@@ -118,6 +124,10 @@ class TrainConfig:
             raise ValueError(
                 f"compute_time_mode must be 'modeled' or 'measured', "
                 f"got {self.compute_time_mode!r}")
+        if self.accum_impl not in ACCUM_IMPLS:
+            raise ValueError(
+                f"accum_impl must be one of {ACCUM_IMPLS}, "
+                f"got {self.accum_impl!r}")
         if self.eval_filter_impl not in FILTER_IMPLS:
             raise ValueError(
                 f"eval_filter_impl must be one of {FILTER_IMPLS}, "
@@ -212,7 +222,8 @@ class DistributedTrainer:
         self.workers = [
             Worker(rank=i, shard=part.parts[i], n_entities=store.n_entities,
                    strategy=strategy, seed=cfg.seed, l2=cfg.l2,
-                   zero_row_tol=cfg.zero_row_tol, store=store)
+                   zero_row_tol=cfg.zero_row_tol, store=store,
+                   accum_impl=cfg.accum_impl)
             for i in range(n_nodes)
         ]
         entity_width = self.model.entity_emb.shape[1]
@@ -357,7 +368,7 @@ class DistributedTrainer:
                     op_label=f"{kind}_allreduce")
             except CollectiveGaveUp:
                 self._dense_fallback(matrix_rows, kind)
-            return combine_sparse(grads), 0.0
+            return combine_sparse(grads, impl=self.config.accum_impl), 0.0
 
         try:
             return self._communicate_allgather(grads, residuals, kind)
@@ -366,7 +377,7 @@ class DistributedTrainer:
             # delivered; resend the step's update as a reliable (and
             # lossless) dense allreduce instead.
             self._dense_fallback(matrix_rows, kind)
-            return combine_sparse(grads), 0.0
+            return combine_sparse(grads, impl=self.config.accum_impl), 0.0
 
     def _dense_fallback(self, matrix_rows: int, kind: str = "entity") -> None:
         """Resend one step's update as a reliable dense allreduce.
@@ -418,7 +429,8 @@ class DistributedTrainer:
                 self.cluster, [q.nbytes_wire for q in payloads],
                 algo=strategy.allgather_algo,
                 op_label=f"{kind}_allgather_quant")
-            combined = combine_sparse([dequantize(q) for q in payloads])
+            combined = combine_sparse([dequantize(q) for q in payloads],
+                                      impl=self.config.accum_impl)
         elif self._projections is not None:
             # GradZip comparator: project rows onto the shared basis, ship
             # the skinny factors, reconstruct locally.
@@ -431,7 +443,8 @@ class DistributedTrainer:
                 algo=strategy.allgather_algo,
                 op_label=f"{kind}_allgather_factored")
             combined = combine_sparse(
-                [gradzip.reconstruct(q, projection) for q in payloads])
+                [gradzip.reconstruct(q, projection) for q in payloads],
+                impl=self.config.accum_impl)
         else:
             combined = collectives.allgather_sparse(
                 self.cluster, processed, algo=strategy.allgather_algo,

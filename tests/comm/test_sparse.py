@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.comm.sparse import SparseRows, combine_sparse
+from repro.kg.spmat import build_fold_plan
 
 
 def make(indices, values, n_rows=10):
@@ -91,6 +92,48 @@ class TestFromRows:
                                  np.empty((0, 3), dtype=np.float32), n_rows=6)
         assert s.nnz_rows == 0
 
+    def test_impls_agree_bitwise(self):
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 20, size=200)
+        vals = rng.normal(size=(200, 4)).astype(np.float32)
+        naive = SparseRows.from_rows(idx, vals, n_rows=20, impl="naive")
+        csr = SparseRows.from_rows(idx, vals, n_rows=20, impl="csr")
+        np.testing.assert_array_equal(naive.indices, csr.indices)
+        np.testing.assert_array_equal(naive.values.view(np.uint32),
+                                      csr.values.view(np.uint32))
+
+    def test_prebuilt_plan_reused(self):
+        idx = np.array([4, 1, 4])
+        vals = np.array([[1.0], [2.0], [3.0]], dtype=np.float32)
+        plan = build_fold_plan(idx, 6)
+        s = SparseRows.from_rows(idx, vals, n_rows=6, plan=plan)
+        assert list(s.indices) == [1, 4]
+        np.testing.assert_allclose(s.values, [[2.0], [4.0]])
+
+    def test_mismatched_plan_rejected(self):
+        plan = build_fold_plan(np.array([0, 1]), 6)
+        with pytest.raises(ValueError):
+            SparseRows.from_rows(np.array([0, 1, 2]),
+                                 np.zeros((3, 1), dtype=np.float32),
+                                 n_rows=6, plan=plan)
+        with pytest.raises(ValueError):
+            SparseRows.from_rows(np.array([0, 1]),
+                                 np.zeros((2, 1), dtype=np.float32),
+                                 n_rows=9, plan=plan)
+
+    def test_plan_with_naive_rejected(self):
+        plan = build_fold_plan(np.array([0]), 6)
+        with pytest.raises(ValueError):
+            SparseRows.from_rows(np.array([0]),
+                                 np.zeros((1, 1), dtype=np.float32),
+                                 n_rows=6, impl="naive", plan=plan)
+
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(ValueError):
+            SparseRows.from_rows(np.array([0]),
+                                 np.zeros((1, 1), dtype=np.float32),
+                                 n_rows=6, impl="scipy")
+
 
 class TestOperations:
     def test_wire_bytes(self):
@@ -145,6 +188,23 @@ class TestCombine:
         b = make([1], [[1.0]], n_rows=20)
         with pytest.raises(ValueError):
             combine_sparse([a, b])
+
+    def test_impls_agree_bitwise(self):
+        rng = np.random.default_rng(1)
+        parts = []
+        for _ in range(4):
+            idx = np.sort(rng.choice(10, size=5, replace=False))
+            vals = rng.normal(size=(5, 3)).astype(np.float32)
+            parts.append(SparseRows(indices=idx, values=vals, n_rows=10))
+        naive = combine_sparse(parts, impl="naive")
+        csr = combine_sparse(parts, impl="csr")
+        np.testing.assert_array_equal(naive.indices, csr.indices)
+        np.testing.assert_array_equal(naive.values.view(np.uint32),
+                                      csr.values.view(np.uint32))
+
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(ValueError):
+            combine_sparse([make([1], [[1.0]])], impl="blocked")
 
 
 @st.composite

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.kg.negative import (
     NegativeBatch,
     corrupt_batch,
+    mask_known_candidates,
     select_all,
     select_hardest,
 )
@@ -154,3 +155,50 @@ class TestSelectHardest:
         h2, r2, t2 = select_hardest(batch, scores)
         np.testing.assert_array_equal(h, h2)
         np.testing.assert_array_equal(t, t2)
+
+
+class TestMaskKnownCandidates:
+    def test_known_candidates_masked_to_minus_inf(self):
+        scores = np.array([[0.5, 0.9, 0.1]])
+        known = np.array([[False, True, False]])
+        masked = mask_known_candidates(scores, known)
+        np.testing.assert_array_equal(masked, [[0.5, -np.inf, 0.1]])
+
+    def test_masked_candidate_never_selected(self):
+        b = NegativeBatch(heads=np.array([[1, 2, 3]]),
+                          relations=np.zeros((1, 3), dtype=int),
+                          tails=np.array([[4, 5, 6]]))
+        scores = np.array([[0.1, 0.9, 0.5]])
+        known = np.array([[False, True, False]])
+        h, _, _ = select_hardest(b, mask_known_candidates(scores, known))
+        assert h[0] == 3  # second-best, since the best is a known fact
+
+    def test_fully_masked_row_falls_back_to_raw_scores(self):
+        """Regression: a row whose every candidate is a known fact used to
+        become all -inf, so argmax degenerated to index 0 and downstream
+        loss terms went non-finite.  Such rows fall back to the unmasked
+        scores."""
+        scores = np.array([[0.5, 0.9, 0.1],
+                           [0.3, 0.2, 0.8]])
+        known = np.array([[True, True, True],
+                          [True, False, False]])
+        masked = mask_known_candidates(scores, known)
+        np.testing.assert_array_equal(masked[0], scores[0])
+        np.testing.assert_array_equal(masked[1], [-np.inf, 0.2, 0.8])
+        assert np.isfinite(masked[0]).all()
+
+    def test_all_rows_fully_masked(self):
+        scores = np.array([[1.0, 2.0], [3.0, 4.0]])
+        known = np.ones((2, 2), dtype=bool)
+        np.testing.assert_array_equal(mask_known_candidates(scores, known),
+                                      scores)
+
+    def test_does_not_mutate_input(self):
+        scores = np.array([[0.5, 0.9]])
+        known = np.array([[False, True]])
+        mask_known_candidates(scores, known)
+        np.testing.assert_array_equal(scores, [[0.5, 0.9]])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mask_known_candidates(np.zeros((2, 3)), np.zeros((3, 2), bool))

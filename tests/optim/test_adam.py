@@ -90,6 +90,68 @@ class TestAdamState:
         with pytest.raises(ValueError):
             AdamState((2, 2), eps=0.0)
 
+    def test_dense_matches_sparse_all_rows_bitwise(self):
+        """apply_dense is apply_sparse with every row present — bitwise,
+        including moments, per-row step counters and the parameter."""
+        rng = np.random.default_rng(1)
+        shape = (7, 4)
+        grads = [rng.normal(size=shape).astype(np.float32) for _ in range(6)]
+        all_rows = np.arange(shape[0])
+
+        dense_state, sparse_state = AdamState(shape), AdamState(shape)
+        p_dense = rng.normal(size=shape).astype(np.float32)
+        p_sparse = p_dense.copy()
+        for g in grads:
+            dense_state.apply_dense(p_dense, g, lr=0.02)
+            sparse_state.apply_sparse(
+                p_sparse, SparseRows(all_rows, g.copy(), shape[0]), lr=0.02)
+        np.testing.assert_array_equal(p_dense.view(np.uint32),
+                                      p_sparse.view(np.uint32))
+        np.testing.assert_array_equal(dense_state.m.view(np.uint32),
+                                      sparse_state.m.view(np.uint32))
+        np.testing.assert_array_equal(dense_state.v.view(np.uint32),
+                                      sparse_state.v.view(np.uint32))
+        np.testing.assert_array_equal(dense_state.steps, sparse_state.steps)
+
+    def test_dense_advances_global_step_count(self):
+        state = AdamState((4, 2))
+        p = np.zeros((4, 2), dtype=np.float32)
+        for _ in range(3):
+            state.apply_dense(p, np.ones((4, 2), dtype=np.float32), lr=0.01)
+        np.testing.assert_array_equal(state.steps, 3)
+
+    def test_sparse_matches_dense_reference_bias_correction(self):
+        """Lazy per-row bias correction equals the textbook global-step
+        correction on the sequence of updates each row actually saw."""
+        rng = np.random.default_rng(2)
+        param = rng.normal(size=(3, 2)).astype(np.float32)
+        # Row 2 only participates in every other update.
+        row2_grads = []
+        state = AdamState((3, 2))
+        p = param.copy()
+        for step in range(8):
+            g = rng.normal(size=(3, 2)).astype(np.float32)
+            if step % 2 == 0:
+                idx = np.arange(3)
+                row2_grads.append(g[2:3])
+            else:
+                idx = np.arange(2)
+                g = g[:2]
+            state.apply_sparse(p, SparseRows(idx, g, 3), lr=0.01)
+        # Row 2's trajectory == a standalone dense Adam over its updates.
+        expected = dense_adam_reference(param[2:3].copy(), row2_grads,
+                                        lr=0.01)
+        np.testing.assert_allclose(p[2:3], expected, rtol=1e-4, atol=1e-6)
+
+    def test_dense_grad_shape_mismatch_rejected(self):
+        state = AdamState((3, 2))
+        p = np.ones((3, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            state.apply_dense(p, np.ones((2, 2), dtype=np.float32), lr=0.1)
+        with pytest.raises(ValueError):
+            state.apply_dense(np.ones((4, 2), dtype=np.float32),
+                              np.ones((4, 2), dtype=np.float32), lr=0.1)
+
     def test_converges_on_quadratic(self):
         """Minimise ||x - target||^2 row-wise."""
         target = np.array([[1.0, -2.0], [3.0, 0.5]], dtype=np.float32)

@@ -200,10 +200,21 @@ class TestEvalKnobs:
         args = build_parser().parse_args([])
         assert args.filter_impl == "csr"
         assert args.eval_chunk_entities is None
+        assert args.accum_impl == "csr"
 
     def test_unknown_filter_impl_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--filter-impl", "bitmap"])
+
+    def test_unknown_accum_impl_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--accum-impl", "scipy"])
+
+    def test_naive_accum_impl_runs(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, ["--accum-impl", "naive", "--json"]))
+        assert rc == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["N_epochs"] == 2
 
     def test_json_reports_eval_throughput(self, tmp_path, capsys):
         rc = main(self._args(tmp_path, ["--json"]))

@@ -133,6 +133,25 @@ class TestSampleSelection:
         # SS pays candidate forwards but the same backward count.
         assert f_1 < f_ss < f_1 * 3
 
+    def test_ss_flops_formula_exact(self, store, model):
+        """Kept negatives are charged forward+backward in the training
+        batch; only the b * (sampled - used) *discarded* candidates are
+        forward-only.  Charging all b * sampled candidates double-counts
+        the kept ones' forward pass."""
+        b, sampled, used = 32, 10, 2
+        strat = StrategyConfig(sample_selection=True,
+                               negatives_sampled=sampled,
+                               negatives_used=used)
+        w = make_worker(store, strategy=strat)
+        w.start_epoch()
+        out = w.compute_step(model, 0, b)
+        n_examples = b * (1 + used)
+        assert out.n_examples == n_examples
+        expected = (n_examples * model.flops_per_example(backward=True)
+                    + b * (sampled - used)
+                    * model.flops_per_example(backward=False))
+        assert out.flops == float(expected)
+
     def test_ss_cheaper_than_training_all_candidates(self, store, model):
         strat_ss = StrategyConfig(sample_selection=True, negatives_sampled=10,
                                   negatives_used=1)
@@ -193,3 +212,63 @@ class TestFalseNegativeFiltering:
         w.start_epoch()
         out = w.compute_step(model, 0, 32)
         assert out.n_examples == 64
+
+    def test_fully_masked_rows_survive_dense_store(self, store, model):
+        """Regression: with a store where *every* candidate is a known
+        fact, the -inf mask used to zero out all scores and feed -inf
+        upstream; the fallback keeps selection finite and the step sane."""
+
+        class DenseStore:
+            n_entities = store.n_entities
+            n_relations = store.n_relations
+
+            @staticmethod
+            def is_known(h, r, t):
+                return np.ones(len(np.asarray(h)), dtype=bool)
+
+        strat = StrategyConfig(sample_selection=True, negatives_sampled=6,
+                               negatives_used=1)
+        w = Worker(rank=0, shard=store.train, n_entities=store.n_entities,
+                   strategy=strat, seed=2, store=DenseStore())
+        w.start_epoch()
+        out = w.compute_step(model, 0, 32)
+        assert np.isfinite(out.loss)
+        assert np.isfinite(out.entity_grad.values).all()
+
+
+class TestAccumImpl:
+    def test_invalid_impl_rejected(self, store):
+        with pytest.raises(ValueError):
+            Worker(rank=0, shard=store.train, n_entities=store.n_entities,
+                   strategy=baseline_allreduce(), seed=0, accum_impl="dense")
+
+    @pytest.mark.parametrize("ss", [False, True])
+    def test_csr_and_naive_steps_bitwise_equal(self, store, model, ss):
+        strat = (StrategyConfig(sample_selection=True, negatives_sampled=8,
+                                negatives_used=2)
+                 if ss else baseline_allreduce(negatives=2))
+        outs = {}
+        for impl in ("naive", "csr"):
+            w = Worker(rank=0, shard=store.train,
+                       n_entities=store.n_entities, strategy=strat, seed=5,
+                       l2=1e-4, store=store, accum_impl=impl)
+            w.start_epoch()
+            outs[impl] = w.compute_step(model, 0, 48)
+        a, b = outs["naive"], outs["csr"]
+        assert a.loss == b.loss
+        assert a.flops == b.flops
+        np.testing.assert_array_equal(a.entity_grad.indices,
+                                      b.entity_grad.indices)
+        np.testing.assert_array_equal(a.entity_grad.values.view(np.uint32),
+                                      b.entity_grad.values.view(np.uint32))
+        np.testing.assert_array_equal(a.relation_grad.indices,
+                                      b.relation_grad.indices)
+        np.testing.assert_array_equal(
+            a.relation_grad.values.view(np.uint32),
+            b.relation_grad.values.view(np.uint32))
+
+    def test_grad_seconds_reported(self, store, model):
+        w = make_worker(store)
+        w.start_epoch()
+        out = w.compute_step(model, 0, 32)
+        assert 0.0 < out.grad_seconds <= out.wall_seconds
