@@ -1,0 +1,158 @@
+"""Flat-vs-hierarchical crossover sweep — the topology-aware stack.
+
+Not a paper figure: this charts where the two-level collective stack
+(:mod:`repro.comm.hierarchical`) starts beating the flat inter-node ring,
+as a function of world size and the intra/inter bandwidth ratio.  Four
+curves per (world, ratio) cell, all charging a ~1.9 MB dense entity
+gradient (15k rows x dim 32):
+
+* ``flat_dense``  — single-level ring allreduce, every hop on the slow link;
+* ``hier_dense``  — intra reduce, inter ring over nodes, intra broadcast;
+* ``flat_1bit``   — flat allgatherv of every rank's 1-bit payload;
+* ``hier_1bit``   — intra reduce at full precision, re-quantize at the hop
+  boundary, inter allgatherv of one 1-bit payload per node, intra
+  broadcast back (the trainer's compressed hierarchical path).
+
+The qualitative claims asserted:
+
+* at ratio 1 (intra link no faster than inter) the hierarchy only adds
+  hops: flat dense wins at every world size — the crossover exists;
+* by ratio 8 the hierarchy wins the dense exchange at every world size;
+* the headline gate: at world 16 and every ratio >= 8, ``hier_1bit`` beats
+  ``flat_dense`` by at least 1.5x (CI enforces this from the JSON).
+
+Results land in ``BENCH_comm.json`` (path overridable via
+``REPRO_BENCH_COMM_JSON``) so CI can gate and archive them.
+"""
+
+import json
+import os
+
+from repro.comm.hierarchical import (
+    hier_allreduce_bytes,
+    hier_inter_allgatherv_bytes,
+    hier_intra_bcast_bytes,
+    hier_intra_reduce_bytes,
+    resolve_groups,
+)
+from repro.comm.network import NetworkModel
+from repro.comm.payload import dense_bytes, quantized_rows_bytes
+from repro.comm.simulator import Cluster
+from repro.comm.topology import HierarchicalNetwork
+
+from conftest import run_once_benchmarked
+
+N_ROWS = 15_000
+DIM = 32
+RPN = 4
+WORLDS = [2, 4, 8, 16, 32]
+RATIOS = [1, 2, 4, 8, 16, 32]
+#: The slow link every configuration shares (8 GB/s, 5 us).
+INTER = NetworkModel(alpha=5e-6, beta=1.25e-10)
+INTRA_ALPHA = 0.3e-6
+GATE_WORLD = 16
+GATE_RATIO = 8
+GATE_SPEEDUP = 1.5
+
+DENSE_NBYTES = dense_bytes(N_ROWS, DIM)
+ONEBIT_NBYTES = quantized_rows_bytes(N_ROWS, DIM, bits=1)
+
+
+def _network(ratio: float) -> HierarchicalNetwork:
+    """Two-level network whose intra link is ``ratio``x the inter bandwidth."""
+    return HierarchicalNetwork(
+        intra=NetworkModel(alpha=INTRA_ALPHA, beta=INTER.beta / ratio),
+        inter=INTER, ranks_per_node=RPN)
+
+
+def _cell(world: int, ratio: float) -> dict:
+    """Charge all four exchange styles for one (world, ratio) cell."""
+    net = _network(ratio)
+    groups = resolve_groups(net, world)
+    flat_dense = INTER.allreduce_ring_time(DENSE_NBYTES, world)
+    flat_1bit = INTER.allgatherv_ring_time([float(ONEBIT_NBYTES)] * world,
+                                           world)
+    hier_dense = hier_allreduce_bytes(Cluster(world, net), DENSE_NBYTES,
+                                      groups)
+    cluster = Cluster(world, net)
+    hier_1bit = hier_intra_reduce_bytes(cluster, DENSE_NBYTES, groups)
+    hier_1bit += hier_inter_allgatherv_bytes(
+        cluster, [ONEBIT_NBYTES] * groups.n_nodes, groups)
+    hier_1bit += hier_intra_bcast_bytes(
+        cluster, ONEBIT_NBYTES * groups.n_nodes, groups)
+    return {
+        "world": world,
+        "ratio": ratio,
+        "flat_dense": flat_dense,
+        "hier_dense": hier_dense,
+        "flat_1bit": flat_1bit,
+        "hier_1bit": hier_1bit,
+        "speedup_hier_1bit_vs_flat_dense": flat_dense / hier_1bit,
+    }
+
+
+def _sweep() -> list[dict]:
+    return [_cell(world, ratio) for world in WORLDS for ratio in RATIOS]
+
+
+def _crossover_ratio(grid: list[dict], world: int) -> float | None:
+    """Smallest swept ratio where the dense hierarchy beats the flat ring."""
+    for ratio in RATIOS:
+        cell = next(c for c in grid
+                    if c["world"] == world and c["ratio"] == ratio)
+        if cell["hier_dense"] < cell["flat_dense"]:
+            return ratio
+    return None
+
+
+def test_hier_crossover(benchmark):
+    grid = run_once_benchmarked(benchmark, _sweep)
+
+    from repro.bench import print_series
+    for world in WORLDS:
+        cells = [c for c in grid if c["world"] == world]
+        print_series(
+            f"Fig 10: comm time vs bandwidth ratio (world={world}, rpn={RPN})",
+            "ratio", RATIOS,
+            {curve: [c[curve] for c in cells]
+             for curve in ("flat_dense", "hier_dense", "flat_1bit",
+                           "hier_1bit")})
+
+    # Ratio 1: the hierarchy only adds hops; the flat ring must win the
+    # dense exchange at every world size (there IS a crossover to locate).
+    for cell in grid:
+        if cell["ratio"] == 1:
+            assert cell["hier_dense"] > cell["flat_dense"], cell
+
+    # By ratio 8 the fast intra link pays for the extra hops everywhere.
+    crossovers = {world: _crossover_ratio(grid, world) for world in WORLDS}
+    for world, ratio in crossovers.items():
+        assert ratio is not None and ratio <= 8, \
+            f"world={world}: dense crossover at ratio {ratio}"
+
+    # Headline gate (CI re-checks this from the JSON): compressed
+    # hierarchical vs the flat dense ring at the paper-like scale.
+    gate_cells = [c for c in grid
+                  if c["world"] == GATE_WORLD and c["ratio"] >= GATE_RATIO]
+    assert gate_cells
+    worst = min(c["speedup_hier_1bit_vs_flat_dense"] for c in gate_cells)
+    assert worst >= GATE_SPEEDUP, \
+        f"hier 1-bit only {worst:.2f}x over flat dense at world {GATE_WORLD}"
+
+    out_path = os.environ.get("REPRO_BENCH_COMM_JSON", "BENCH_comm.json")
+    with open(out_path, "w") as fh:
+        json.dump({
+            "payload": {"n_rows": N_ROWS, "dim": DIM,
+                        "dense_bytes": DENSE_NBYTES,
+                        "onebit_bytes": ONEBIT_NBYTES},
+            "ranks_per_node": RPN,
+            "inter": {"alpha": INTER.alpha, "beta": INTER.beta},
+            "worlds": WORLDS,
+            "ratios": RATIOS,
+            "grid": grid,
+            "dense_crossover_ratio_by_world":
+                {str(w): r for w, r in crossovers.items()},
+            "gate": {"world": GATE_WORLD, "min_ratio": GATE_RATIO,
+                     "threshold": GATE_SPEEDUP, "worst_speedup": worst},
+        }, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -138,6 +138,21 @@ def print_series(title: str, x_label: str, xs: list,
     print_table(title, header, rows)
 
 
+def hop_breakdown(result: TrainResult) -> str:
+    """Compact per-hop comm-time split, e.g. ``intra:0.8s inter:1.2s``.
+
+    Hierarchical runs split their charges across the intra/inter hops
+    (see ``repro.comm.simulator.CommStats.by_hop``); flat runs collapse
+    to the single ``flat`` hop.  Empty stats render as ``-``.
+    """
+    parts = []
+    for hop in ("flat", "intra", "inter"):
+        entry = result.comm_by_hop.get(hop)
+        if entry and entry[0] > 0:
+            parts.append(f"{hop}:{entry[2]:.2g}s")
+    return " ".join(parts) if parts else "-"
+
+
 def fault_summary_row(result: TrainResult) -> dict:
     """Chaos-relevant columns of one run: retries, skew, DRS switch epoch."""
     return {
@@ -147,6 +162,7 @@ def fault_summary_row(result: TrainResult) -> dict:
         "fallbacks": result.comm_fallbacks,
         "straggler_skew": round(result.straggler_skew, 4),
         "drs_switch_epoch": result.drs_switch_epoch,
+        "comm_by_hop": hop_breakdown(result),
     }
 
 
@@ -240,16 +256,19 @@ def print_serve_table(title: str, snapshots: list[dict]) -> None:
 def print_fault_table(title: str, results: list[TrainResult]) -> None:
     """Chaos report: one row per run, fault telemetry next to outcome."""
     header = ["method", "nodes", "retries", "fallbacks", "skew",
-              "DRS switch", "TT(h)", "MRR"]
+              "DRS switch", "comm by hop", "TT(h)", "MRR"]
     rows = []
     for res in results:
         row = fault_summary_row(res)
         rows.append([row["method"], row["nodes"], row["retries"],
                      row["fallbacks"], row["straggler_skew"],
-                     row["drs_switch_epoch"], res.total_hours, res.test_mrr])
+                     row["drs_switch_epoch"], row["comm_by_hop"],
+                     res.total_hours, res.test_mrr])
+    hop_w = max([len("comm by hop")] +
+                [len(r[6]) for r in rows]) + 2
     print_table(title, header, rows,
                 widths=[max(len(r.strategy_label) for r in results) + 2,
-                        5, 8, 9, 8, 10, 10, 10])
+                        5, 8, 9, 8, 10, hop_w, 10, 10])
 
 
 # ---------------------------------------------------------------------------

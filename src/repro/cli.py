@@ -17,6 +17,18 @@ Run a chaos scenario (one 3x straggler, 5% message drop, dense fallback)::
     python -m repro --strategy DRS+1-bit+RP+SS --nodes 4 \
         --faults "straggler=2:3.0,drop=0.05,policy=fallback-dense"
 
+Train over a two-level topology (4 ranks per node, slow inter-node link)
+with the hierarchical compression-aware collective stack::
+
+    python -m repro --strategy DRS+1-bit+RP+SS --nodes 8 \
+        --net "rpn=4,inter=5e-6:1.25e-10" --collective hier
+
+Let the cost model pick per probe among flat ring, hierarchical and
+allgather::
+
+    python -m repro --strategy DRS+1-bit+RP+SS --nodes 8 \
+        --net "rpn=4" --collective auto
+
 Checkpoint every 5 epochs, then resume bitwise-exactly after a crash::
 
     python -m repro --strategy DRS+1-bit+RP+SS --nodes 4 \
@@ -44,15 +56,18 @@ import argparse
 import json
 import sys
 
+import dataclasses
+
 from .bench.calibration import BENCH_NETWORK
 from .comm.faults import CollectiveFaultError, FaultPlan, RankLossError
+from .comm.topology import HierarchicalNetwork
 from .eval.ranking import FILTER_IMPLS
 from .config import DEFAULT_ACCUM_IMPL, DEFAULT_SEED
 from .kg.spmat import ACCUM_IMPLS
 from .kg.datasets import load_store, make_fb15k_like, make_fb250k_like
 from .training.checkpoint import CheckpointError
 from .training.elastic import ElasticSupervisor
-from .training.strategy import PRESETS
+from .training.strategy import COLLECTIVES, PRESETS
 from .training.trainer import DistributedTrainer, TrainConfig
 
 DATASETS = {"fb15k": make_fb15k_like, "fb250k": make_fb250k_like}
@@ -107,6 +122,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="chaos scenario, e.g. 'drop=0.05,corrupt=0.01,"
                              "jitter=0.2,straggler=2:3.0,policy=fallback-dense'"
                              " (see repro.comm.faults.FaultPlan.parse)")
+    parser.add_argument("--net", metavar="SPEC",
+                        help="two-level network topology, e.g. "
+                             "'rpn=4,intra=0.3e-6:2e-11,inter=5e-6:1.25e-10' "
+                             "(see repro.comm.topology.HierarchicalNetwork"
+                             ".parse; default: the flat benchmark network)")
+    parser.add_argument("--collective", choices=sorted(COLLECTIVES),
+                        default="flat",
+                        help="dense collective stack: 'flat' single-level "
+                             "ring, 'hier' two-level intra/inter with "
+                             "hop-boundary re-quantization, 'auto' cost-model "
+                             "choice (three-way DRS probe when dynamic; "
+                             "default: flat)")
     parser.add_argument("--checkpoint-dir", metavar="DIR",
                         help="write versioned checkpoints under DIR and "
                              "flush the last completed epoch if a fail-fast "
@@ -295,6 +322,15 @@ def main(argv: list[str] | None = None) -> int:
 
     maker = PRESETS[args.strategy]
     strategy = maker(args.negatives) if args.negatives is not None else maker()
+    if args.collective != "flat":
+        strategy = dataclasses.replace(strategy, collective=args.collective)
+
+    try:
+        network = (HierarchicalNetwork.parse(args.net) if args.net
+                   else BENCH_NETWORK)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     config = TrainConfig(dim=args.dim, batch_size=args.batch_size,
                          base_lr=args.lr, max_epochs=args.max_epochs,
@@ -318,6 +354,9 @@ def main(argv: list[str] | None = None) -> int:
     if not args.json:
         print(f"dataset : {store.summary()}")
         print(f"strategy: {args.strategy} on {args.nodes} simulated node(s)")
+        if args.net:
+            print(f"network : {network.describe()} "
+                  f"(collective={strategy.collective})")
         if faults is not None:
             print(f"faults  : {faults.describe()}")
         if args.elastic:
@@ -327,13 +366,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.elastic:
         supervisor = ElasticSupervisor(
             store, strategy, args.nodes, config=config,
-            network=BENCH_NETWORK, faults=faults,
+            network=network, faults=faults,
             max_restarts=args.max_restarts,
             allow_regrow=args.allow_regrow)
         runner = supervisor.run
     else:
         trainer = DistributedTrainer(store, strategy, args.nodes,
-                                     config=config, network=BENCH_NETWORK,
+                                     config=config, network=network,
                                      faults=faults)
         if args.resume:
             try:
@@ -370,6 +409,10 @@ def main(argv: list[str] | None = None) -> int:
                allreduce_fraction=round(result.allreduce_fraction, 3),
                eval_seconds=round(result.eval_seconds, 3),
                eval_queries_per_sec=round(result.eval_queries_per_sec, 1))
+    if strategy.collective != "flat":
+        row.update(hier_steps=result.hier_steps,
+                   comm_by_hop={hop: [v[0], v[1], round(v[2], 6), v[3]]
+                                for hop, v in result.comm_by_hop.items()})
     if faults is not None:
         row.update(comm_retries=result.comm_retries,
                    comm_fallbacks=result.comm_fallbacks,

@@ -18,6 +18,15 @@ from .faults import (
     FaultPlan,
     RankLossError,
 )
+from .hierarchical import (
+    NodeGroups,
+    hier_allgather,
+    hier_allreduce,
+    hier_allreduce_bytes,
+    hier_reduce_scatter,
+    hop_models,
+    resolve_groups,
+)
 from .network import DEFAULT_NETWORK, NetworkModel
 from .payload import (
     compression_ratio,
@@ -25,7 +34,7 @@ from .payload import (
     quantized_rows_bytes,
     sparse_rows_bytes,
 )
-from .simulator import Cluster, CommRecord, CommStats
+from .simulator import HOPS, Cluster, CommRecord, CommStats
 from .topology import HierarchicalNetwork
 from .tracing import ClusterTracer, TraceEvent
 from .sparse import SparseRows, combine_sparse
@@ -42,7 +51,9 @@ __all__ = [
     "FAULT_POLICIES",
     "FaultInjector",
     "FaultPlan",
+    "HOPS",
     "HierarchicalNetwork",
+    "NodeGroups",
     "RankLossError",
     "TraceEvent",
     "DEFAULT_NETWORK",
@@ -57,6 +68,12 @@ __all__ = [
     "combine_sparse",
     "compression_ratio",
     "dense_bytes",
+    "hier_allgather",
+    "hier_allreduce",
+    "hier_allreduce_bytes",
+    "hier_reduce_scatter",
+    "hop_models",
     "quantized_rows_bytes",
+    "resolve_groups",
     "sparse_rows_bytes",
 ]

@@ -24,7 +24,8 @@ ALLGATHER_ALGOS = ("ring", "bruck")
 
 
 def _charge(cluster: Cluster, op: str, nbytes_total: int, n_messages: int,
-            time: float) -> float:
+            time: float, hop: str = "flat",
+            network=None) -> float:
     """Consult the fault injector, then charge the collective; return time.
 
     With faults active the charged time includes jitter and retransmission
@@ -33,21 +34,28 @@ def _charge(cluster: Cluster, op: str, nbytes_total: int, n_messages: int,
     attempts is charged as an ``*_aborted`` record before the
     :class:`~repro.comm.faults.CollectiveGaveUp` signal propagates to the
     caller (the trainer's degradation path).
+
+    ``hop`` labels the record's link class (see
+    :data:`repro.comm.simulator.HOPS`); ``network`` overrides the cost
+    model the fault injector uses to split jitter into latency/bandwidth
+    parts — the hierarchical collectives pass the hop's own sub-model
+    (``net.intra`` / ``net.inter``) so jitter perturbs the right link.
     """
     retries = 0
     if cluster.faults is not None:
         try:
             time, retries = cluster.faults.collective_time(
-                op, time, n_messages, cluster.network)
+                op, time, n_messages,
+                cluster.network if network is None else network)
         except CollectiveGaveUp as exc:
             cluster.charge_collective(CommRecord(
                 op=f"{op}_aborted", nbytes_total=nbytes_total,
                 n_messages=n_messages, time=exc.time_charged,
-                retries=exc.retries))
+                retries=exc.retries, hop=hop))
             raise
     cluster.charge_collective(CommRecord(
         op=op, nbytes_total=nbytes_total, n_messages=n_messages,
-        time=time, retries=retries))
+        time=time, retries=retries, hop=hop))
     return time
 
 
@@ -83,27 +91,34 @@ def allreduce(cluster: Cluster, buffers: Sequence[np.ndarray],
 
 
 def allreduce_bytes(cluster: Cluster, nbytes: int, algo: str = "ring",
-                    op_label: str = "allreduce") -> float:
+                    op_label: str = "allreduce", network=None) -> float:
     """Charge the cost of a dense allreduce of ``nbytes`` without moving data.
 
     The trainer keeps gradients in sparse form for efficiency; an allreduce
     step is mathematically the sparse sum, but the wire carries the full
     dense matrix — this helper charges that dense cost.
+
+    ``network`` overrides the cost model (default: the cluster's own).  The
+    trainer's explicit collective stack uses it to price a *genuinely flat*
+    ring over a two-level topology — every hop on the between-node link —
+    where the cluster's :class:`~repro.comm.topology.HierarchicalNetwork`
+    would otherwise fold in its lump hierarchical approximation.
     """
     if nbytes < 0:
         raise ValueError("nbytes must be non-negative")
+    net = cluster.network if network is None else network
     p = cluster.n_ranks
     if algo == "ring":
-        time = cluster.network.allreduce_ring_time(nbytes, p)
+        time = net.allreduce_ring_time(nbytes, p)
         n_messages = 2 * (p - 1)
     elif algo == "recursive_doubling":
-        time = cluster.network.allreduce_recursive_doubling_time(nbytes, p)
+        time = net.allreduce_recursive_doubling_time(nbytes, p)
         n_messages = max(0, int(np.ceil(np.log2(p)))) if p > 1 else 0
     else:
         raise ValueError(f"unknown allreduce algorithm {algo!r}; "
                          f"choose from {ALLREDUCE_ALGOS}")
     return _charge(cluster, f"{op_label}_{algo}", int(nbytes), n_messages,
-                   time)
+                   time, network=network)
 
 
 def allgatherv_bytes(cluster: Cluster, block_bytes: Sequence[int],

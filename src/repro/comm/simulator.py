@@ -24,6 +24,14 @@ from .faults import FaultInjector, FaultPlan
 from .network import DEFAULT_NETWORK, NetworkModel
 
 
+#: Link classes a collective's traffic can travel on.  Flat collectives
+#: charge everything as ``"flat"``; the two-level stack in
+#: :mod:`repro.comm.hierarchical` splits each call into ``"intra"`` (on-node)
+#: and ``"inter"`` (between-node) hops so their bytes, retries and faults
+#: are separately attributable.
+HOPS = ("flat", "intra", "inter")
+
+
 @dataclass(frozen=True)
 class CommRecord:
     """One collective call: what it was, what it cost."""
@@ -34,6 +42,8 @@ class CommRecord:
     time: float
     #: Message retransmissions charged into ``time`` (0 without faults).
     retries: int = 0
+    #: Link class the traffic traveled on (see :data:`HOPS`).
+    hop: str = "flat"
 
 
 @dataclass
@@ -45,6 +55,9 @@ class CommStats:
     time_total: float = 0.0
     retries: int = 0
     by_op: dict = field(default_factory=dict)
+    #: hop -> [calls, bytes, time, retries]; flat-only runs have at most
+    #: the "flat" key, hierarchical runs split "intra" from "inter".
+    by_hop: dict = field(default_factory=dict)
 
     def add(self, record: CommRecord) -> None:
         self.calls += 1
@@ -55,6 +68,11 @@ class CommStats:
         per_op[0] += 1
         per_op[1] += record.nbytes_total
         per_op[2] += record.time
+        per_hop = self.by_hop.setdefault(record.hop, [0, 0, 0.0, 0])
+        per_hop[0] += 1
+        per_hop[1] += record.nbytes_total
+        per_hop[2] += record.time
+        per_hop[3] += record.retries
 
 
 class Cluster:

@@ -126,6 +126,108 @@ class HierarchicalNetwork:
         """Point-to-point transfer (conservatively inter-node)."""
         return self.inter.transfer_time(nbytes, n_messages)
 
+    def split_time(self, time: float, n_messages: int) -> tuple[float, float]:
+        """Latency/bandwidth split of a *lump* collective time.
+
+        A lump (non-hop-attributed) charge over this topology mixes both
+        levels; the split conservatively uses the inter-node alpha — the
+        level that dominates every lump formula's latency term.  The
+        per-hop charges in :mod:`repro.comm.hierarchical` never come here:
+        they hand the fault injector their own sub-model.
+        """
+        return self.inter.split_time(time, n_messages)
+
+    #: Every key the CLI's ``--net`` mini-language accepts (each at most
+    #: once; ``intra``/``inter`` are ``alpha:beta`` shorthands that collide
+    #: with their explicit ``*_alpha``/``*_beta`` forms).
+    PARSE_KEYS = ("rpn", "intra", "inter", "intra_alpha", "intra_beta",
+                  "inter_alpha", "inter_beta", "flops")
+
+    @classmethod
+    def parse(cls, spec: str) -> "HierarchicalNetwork":
+        """Parse the CLI's ``--net`` mini-language.
+
+        Comma-separated ``key=value`` entries::
+
+            rpn=4,intra=0.3e-6:2e-11,inter=5e-6:1.25e-10
+            rpn=2,inter_alpha=8e-6,flops=5e10
+
+        Keys: ``rpn`` (ranks per node), ``intra`` / ``inter``
+        (``alpha:beta`` pairs), ``intra_alpha`` / ``intra_beta`` /
+        ``inter_alpha`` / ``inter_beta`` (individual components),
+        ``flops`` (per-node sustained flop/s, applied to both levels).
+        Unset components keep the class defaults.
+
+        Mirrors ``FaultPlan.parse``'s strictness: an unknown key, a
+        repeated key (including a shorthand colliding with its explicit
+        form), a missing ``=`` or a malformed ``alpha:beta`` pair each
+        raise :class:`ValueError` naming the offending entry.
+        """
+        values: dict[str, float] = {}
+        rpn = cls.ranks_per_node
+        flops: float | None = None
+        seen: set[str] = set()
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(
+                    f"bad --net entry {item!r}; expected key=value")
+            key, _, value = item.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key not in cls.PARSE_KEYS:
+                raise ValueError(
+                    f"unknown --net key {key!r}; valid keys are "
+                    f"{', '.join(cls.PARSE_KEYS)}")
+            # `intra` sets both of that level's components, so it collides
+            # with each explicit intra_alpha/intra_beta key (and likewise
+            # for `inter`); the two explicit keys are fine together.
+            if key in ("intra", "inter"):
+                aliases = (key, f"{key}_alpha", f"{key}_beta")
+            elif key in ("intra_alpha", "intra_beta",
+                         "inter_alpha", "inter_beta"):
+                aliases = (key, key.split("_")[0])
+            else:
+                aliases = (key,)
+            if any(a in seen for a in aliases):
+                raise ValueError(
+                    f"duplicate --net key {key!r} (each key may appear "
+                    f"once; intra/inter collide with their _alpha/_beta "
+                    f"forms)")
+            seen.add(key)
+            if key == "rpn":
+                rpn = int(value)
+            elif key == "flops":
+                flops = float(value)
+            elif key in ("intra", "inter"):
+                alpha_str, sep, beta_str = value.partition(":")
+                if not sep:
+                    raise ValueError(
+                        f"bad --net {key} spec {value!r}; expected "
+                        f"alpha:beta")
+                values[f"{key}_alpha"] = float(alpha_str)
+                values[f"{key}_beta"] = float(beta_str)
+            else:
+                values[key] = float(value)
+        defaults = cls()
+        models = {}
+        for level in ("intra", "inter"):
+            base = getattr(defaults, level)
+            models[level] = NetworkModel(
+                alpha=values.get(f"{level}_alpha", base.alpha),
+                beta=values.get(f"{level}_beta", base.beta),
+                node_flops=flops if flops is not None else base.node_flops)
+        return cls(intra=models["intra"], inter=models["inter"],
+                   ranks_per_node=rpn)
+
+    def describe(self) -> str:
+        """One-line human summary for CLI output."""
+        return (f"rpn={self.ranks_per_node} "
+                f"intra=(a={self.intra.alpha:g},b={self.intra.beta:g}) "
+                f"inter=(a={self.inter.alpha:g},b={self.inter.beta:g})")
+
     # -- hierarchical collectives -------------------------------------
 
     def allreduce_ring_time(self, nbytes: float, p: int) -> float:

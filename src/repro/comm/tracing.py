@@ -60,7 +60,8 @@ class ClusterTracer:
             start = float(self.cluster.clocks.max())
             self._orig_charge(record)
             args = {"bytes": record.nbytes_total,
-                    "messages": record.n_messages}
+                    "messages": record.n_messages,
+                    "hop": record.hop}
             if record.retries:
                 args["retries"] = record.retries
             self.events.append(TraceEvent(

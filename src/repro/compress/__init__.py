@@ -2,13 +2,14 @@
 plus the related-work comparators (top-k, Aji threshold, Wangni, GradZip)."""
 
 from . import factorization
-from .error_feedback import ResidualStore
+from .error_feedback import NodeResiduals, ResidualStore
 from .packing import pack_signs, pack_ternary, unpack_signs, unpack_ternary
 from .quantization import (
     ONE_BIT_STATS,
     QuantizedRows,
     dequantize,
     quantization_error,
+    quantize,
     quantize_1bit,
     quantize_2bit,
 )
@@ -22,6 +23,7 @@ from .selection import (
 from .topk import threshold_elements, topk_rows, wangni_rows
 
 __all__ = [
+    "NodeResiduals",
     "ONE_BIT_STATS",
     "QuantizedRows",
     "ResidualStore",
@@ -32,6 +34,7 @@ __all__ = [
     "pack_signs",
     "pack_ternary",
     "quantization_error",
+    "quantize",
     "quantize_1bit",
     "quantize_2bit",
     "random_selection",

@@ -6,6 +6,16 @@ gradient.  The paper cites this line of work (Section 2) without adopting
 it; we implement it as an optional ablation
 (``StrategyConfig.error_feedback``) so the benchmark suite can quantify what
 it buys on KGE workloads.
+
+Two granularities exist:
+
+* :class:`ResidualStore` — one store per (rank, matrix), wrapped around the
+  flat allgather path's per-rank quantizer;
+* :class:`NodeResiduals` — one store per *physical node*, wrapped around the
+  hierarchical stack's hop-boundary re-quantization (see
+  :mod:`repro.comm.hierarchical`): the node sum is quantized once before the
+  inter-node ring, and the node — not the rank — owns the error it made, so
+  compression error cannot compound across hops.
 """
 
 from __future__ import annotations
@@ -65,3 +75,33 @@ class ResidualStore:
         """Drop all residual state."""
         self._residual[self._dirty] = 0.0
         self._dirty[:] = False
+
+
+class NodeResiduals:
+    """Hop-boundary residual memory, one :class:`ResidualStore` per node.
+
+    Keys are stable physical node ids (``global_rank // ranks_per_node``),
+    so residual ownership survives elastic membership changes: a shrunk
+    node keeps its accumulated error, and a node whose last member died
+    simply drops out (its residual is lost with it, exactly as a real
+    node-local buffer would be).
+    """
+
+    def __init__(self, node_ids, n_rows: int, dim: int):
+        ids = sorted(int(n) for n in node_ids)
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate node ids: {node_ids}")
+        self.stores: dict[int, ResidualStore] = {
+            node: ResidualStore(n_rows, dim) for node in ids}
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self.stores)
+
+    def inject(self, node: int, grad: SparseRows) -> SparseRows:
+        """Fold node ``node``'s stored residual into its hop-boundary sum."""
+        return self.stores[node].inject(grad)
+
+    def store(self, node: int, residual: SparseRows) -> None:
+        """Replace node ``node``'s residual with this hop's fresh error."""
+        self.stores[node].store(residual)

@@ -139,6 +139,23 @@ def quantize_2bit(grad: SparseRows, rng: np.random.Generator) -> QuantizedRows:
                          dim=grad.dim, bits=2, stat="ternary_mean")
 
 
+def quantize(grad: SparseRows, bits: int, stat: str = "max",
+             rng: np.random.Generator | None = None) -> QuantizedRows:
+    """Dispatch to the 1-bit or 2-bit scheme (shared by the flat allgather
+    path and the hierarchical stack's hop-boundary re-quantization).
+
+    The 2-bit scheme's Bernoulli mask needs ``rng``; forgetting it is a
+    programming error, not a quantization outcome, so it raises.
+    """
+    if bits == 1:
+        return quantize_1bit(grad, stat=stat)
+    if bits == 2:
+        if rng is None:
+            raise ValueError("2-bit quantization requires an rng")
+        return quantize_2bit(grad, rng=rng)
+    raise ValueError(f"bits must be 1 or 2, got {bits}")
+
+
 def dequantize(q: QuantizedRows) -> SparseRows:
     """Reconstruct approximate gradient rows from a quantized payload."""
     if q.nnz_rows == 0:

@@ -217,6 +217,18 @@ def capture_state(trainer) -> CheckpointState:
         for rank, store in enumerate(stores):
             arrays[f"residual/{name}/{rank}/values"] = store._residual.copy()
             arrays[f"residual/{name}/{rank}/dirty"] = store._dirty.copy()
+    # Hop-boundary residuals are keyed by stable physical node id (not
+    # local rank), so a cross-world restore intersects node sets instead of
+    # remapping ranks.
+    for name, node_res in (
+            ("entity", getattr(trainer, "_hier_entity_residuals", None)),
+            ("relation", getattr(trainer, "_hier_relation_residuals", None))):
+        if node_res is None:
+            continue
+        for node, store in node_res.stores.items():
+            arrays[f"residual/hier_{name}/{node}/values"] = \
+                store._residual.copy()
+            arrays[f"residual/hier_{name}/{node}/dirty"] = store._dirty.copy()
 
     sched = trainer.scheduler
     drs = trainer._drs
@@ -234,6 +246,8 @@ def capture_state(trainer) -> CheckpointState:
             "current": drs.current, "switched": drs.switched,
             "last_allreduce_comm": drs.last_allreduce_comm,
             "probes": drs.probes,
+            "probe_comms": {mode: float(t)
+                            for mode, t in sorted(drs.probe_comms.items())},
         },
         "rng": {
             "trainer": rng_state(trainer.rng),
@@ -243,6 +257,7 @@ def capture_state(trainer) -> CheckpointState:
         "result": {
             "allreduce_steps": result.allreduce_steps,
             "allgather_steps": result.allgather_steps,
+            "hier_steps": result.hier_steps,
             "drs_switch_epoch": result.drs_switch_epoch,
             "converged": result.converged,
             "logs": [dataclasses.asdict(log) for log in result.logs],
@@ -251,6 +266,7 @@ def capture_state(trainer) -> CheckpointState:
             "calls": stats.calls, "nbytes_total": stats.nbytes_total,
             "time_total": stats.time_total, "retries": stats.retries,
             "by_op": {op: list(v) for op, v in stats.by_op.items()},
+            "by_hop": {hop: list(v) for hop, v in stats.by_hop.items()},
         },
         "fallbacks": trainer._fallbacks,
         "faults": (None if injector is None else {
@@ -339,6 +355,24 @@ def apply_state(trainer, state: CheckpointState,
                 arrays[f"residual/{name}/{old}/values"], dtype=np.float32)
             store._dirty = np.array(
                 arrays[f"residual/{name}/{old}/dirty"], dtype=bool)
+    # Hop-boundary residuals restore by node-id intersection: a node the
+    # new world still occupies gets its snapshot back; a freshly (re)grown
+    # node starts pristine; a snapshot node with no survivors is dropped
+    # (its residual died with its last member, as a real node buffer would).
+    for name, node_res in (
+            ("entity", getattr(trainer, "_hier_entity_residuals", None)),
+            ("relation", getattr(trainer, "_hier_relation_residuals", None))):
+        if node_res is None:
+            continue
+        for node, store in node_res.stores.items():
+            key = f"residual/hier_{name}/{node}"
+            if f"{key}/values" in arrays:
+                store._residual = np.array(arrays[f"{key}/values"],
+                                           dtype=np.float32)
+                store._dirty = np.array(arrays[f"{key}/dirty"], dtype=bool)
+            else:
+                store._residual[:] = 0.0
+                store._dirty[:] = False
 
     cluster = trainer.cluster
     old_clocks = np.asarray(arrays["cluster/clocks"], dtype=np.float64)
@@ -357,7 +391,9 @@ def apply_state(trainer, state: CheckpointState,
         calls=int(comm["calls"]), nbytes_total=int(comm["nbytes_total"]),
         time_total=float(comm["time_total"]), retries=int(comm["retries"]),
         by_op={op: [int(v[0]), int(v[1]), float(v[2])]
-               for op, v in comm["by_op"].items()})
+               for op, v in comm["by_op"].items()},
+        by_hop={hop: [int(v[0]), int(v[1]), float(v[2]), int(v[3])]
+                for hop, v in comm.get("by_hop", {}).items()})
 
     sched = scalars["scheduler"]
     trainer.scheduler.lr = float(sched["lr"])
@@ -372,6 +408,8 @@ def apply_state(trainer, state: CheckpointState,
     trainer._drs.switched = bool(drs["switched"])
     trainer._drs.last_allreduce_comm = float(drs["last_allreduce_comm"])
     trainer._drs.probes = int(drs["probes"])
+    trainer._drs.probe_comms = {str(mode): float(t) for mode, t
+                                in drs.get("probe_comms", {}).items()}
 
     rng = scalars["rng"]
     if len(rng["workers"]) != old_world:
@@ -388,6 +426,7 @@ def apply_state(trainer, state: CheckpointState,
     result = trainer.result
     result.allreduce_steps = int(partial["allreduce_steps"])
     result.allgather_steps = int(partial["allgather_steps"])
+    result.hier_steps = int(partial.get("hier_steps", 0))
     result.drs_switch_epoch = int(partial["drs_switch_epoch"])
     result.converged = bool(partial["converged"])
     result.logs = [EpochLog(**log) for log in partial["logs"]]

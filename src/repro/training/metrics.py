@@ -79,7 +79,14 @@ class TrainResult:
     test_tca: float = float("nan")
     allreduce_steps: int = 0
     allgather_steps: int = 0
+    #: Steps that used the two-level hierarchical stack (dense or
+    #: hop-boundary re-quantized; see repro.comm.hierarchical).
+    hier_steps: int = 0
     bytes_total: int = 0
+    #: hop -> [calls, bytes, time, retries] over the whole run (see
+    #: repro.comm.simulator.CommStats.by_hop); flat-only runs carry at most
+    #: the "flat" key.
+    comm_by_hop: dict = field(default_factory=dict)
     converged: bool = False
     #: Message retransmissions charged by the fault injector (0 = no faults).
     comm_retries: int = 0
@@ -120,7 +127,7 @@ class TrainResult:
     @property
     def allreduce_fraction(self) -> float:
         """Fraction of communication steps that used allreduce."""
-        steps = self.allreduce_steps + self.allgather_steps
+        steps = self.allreduce_steps + self.allgather_steps + self.hier_steps
         if steps == 0:
             return 0.0
         return self.allreduce_steps / steps

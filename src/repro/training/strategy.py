@@ -24,6 +24,11 @@ from ..config import PAPER_DRS_PROBE_INTERVAL
 
 COMM_MODES = ("allreduce", "allgather", "dynamic")
 SELECTION_POLICIES = ("none", "random", "average", "average_x0.1")
+#: Dense-collective stack: ``flat`` = single-level ring over all ranks,
+#: ``hier`` = two-level intra-node / inter-node stack
+#: (:mod:`repro.comm.hierarchical`), ``auto`` = pick per run (static
+#: networks) or per probe (DRS) from the alpha-beta cost model.
+COLLECTIVES = ("flat", "hier", "auto")
 
 
 @dataclass(frozen=True)
@@ -70,6 +75,14 @@ class StrategyConfig:
         switch on a lucky probe.
     allreduce_algo / allgather_algo:
         Collective algorithm (ablation knob).
+    collective:
+        Dense-collective stack (extension): ``flat`` reproduces the paper's
+        single-level ring; ``hier`` reduces intra-node first, sends one
+        representative per node over the inter-node ring (re-quantized at
+        the hop boundary when quantization is on), and broadcasts back;
+        ``auto`` lets the alpha-beta cost model choose — statically for
+        fixed comm modes, per probe for DRS (three-way choice among
+        flat-ring, hierarchical, and allgather).
     """
 
     comm_mode: str = "allreduce"
@@ -90,6 +103,7 @@ class StrategyConfig:
     drs_switch_margin: float = 1.0
     allreduce_algo: str = "ring"
     allgather_algo: str = "ring"
+    collective: str = "flat"
 
     def __post_init__(self) -> None:
         if self.comm_mode not in COMM_MODES:
@@ -123,6 +137,10 @@ class StrategyConfig:
         if self.factorization_rank and self.quantization_bits:
             raise ValueError(
                 "factorization and quantization are mutually exclusive")
+        if self.collective not in COLLECTIVES:
+            raise ValueError(
+                f"collective must be one of {COLLECTIVES}, "
+                f"got {self.collective!r}")
 
     @property
     def compresses(self) -> bool:
@@ -149,6 +167,8 @@ class StrategyConfig:
             parts.append("SS")
         if self.error_feedback:
             parts.append("EF")
+        if self.collective != "flat":
+            parts.append("hier" if self.collective == "hier" else "hier-auto")
         return "+".join(parts)
 
 

@@ -30,7 +30,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..comm import collectives
+from ..comm import collectives, hierarchical
 from ..comm.faults import CollectiveFaultError, CollectiveGaveUp, FaultPlan, \
     RankLossError
 from ..comm.network import DEFAULT_NETWORK, NetworkModel
@@ -38,9 +38,8 @@ from ..comm.payload import dense_bytes
 from ..comm.simulator import Cluster
 from ..comm.sparse import SparseRows, combine_sparse
 from ..compress import factorization as gradzip
-from ..compress.error_feedback import ResidualStore
-from ..compress.quantization import dequantize, quantization_error, \
-    quantize_1bit, quantize_2bit
+from ..compress.error_feedback import NodeResiduals, ResidualStore
+from ..compress.quantization import dequantize, quantization_error, quantize
 from ..compress.selection import select
 from ..config import DEFAULT_ACCUM_IMPL, DEFAULT_SEED
 from ..eval.classification import evaluate_classification
@@ -149,32 +148,60 @@ class TrainConfig:
 
 @dataclass
 class _DrsState:
-    """Dynamic allreduce/allgather switch state (paper Section 4.1)."""
+    """Dynamic comm-mode switch state (paper Section 4.1, extended).
 
+    The paper's DRS is a two-way probe: run allreduce, probe allgather every
+    k-th epoch, switch permanently when the probe's comm time wins.  The
+    topology-aware collective stack extends this to a per-probe choice over
+    several challengers (``probe_modes``): probe epochs cycle through them,
+    and once every challenger has a measurement, the cheapest one commits —
+    but only if it also beats the incumbent ``default_mode``'s last measured
+    comm time by the margin.  With the default single-challenger tuple this
+    reduces *exactly* to the paper's rule.
+    """
+
+    #: Mode every epoch uses after the switch commits (the winning probe).
     current: str = "allreduce"
     switched: bool = False
+    #: Incumbent (default-mode) comm time of the most recent default epoch.
+    #: Named for the paper's allreduce incumbent; kept for checkpoint
+    #: compatibility even when ``default_mode`` is hierarchical.
     last_allreduce_comm: float = float("inf")
     probes: int = 0
-    #: Probe must beat margin * last allreduce comm to commit the switch
+    #: Probe must beat margin * last incumbent comm to commit the switch
     #: (1.0 = paper's strict comparison; < 1 is hysteresis against jitter).
     switch_margin: float = 1.0
+    #: Mode of every non-probe epoch before the switch.
+    default_mode: str = "allreduce"
+    #: Challenger modes, probed round-robin on probe epochs.
+    probe_modes: tuple = ("allgather",)
+    #: Most recent comm-time measurement per challenger mode.
+    probe_comms: dict = field(default_factory=dict)
 
     def mode_for_epoch(self, epoch: int, probe_interval: int) -> str:
         if self.switched:
-            return "allgather"
+            return self.current
         if epoch > 0 and epoch % probe_interval == 0:
-            return "allgather"  # probe epoch
-        return "allreduce"
+            return self.probe_modes[self.probes % len(self.probe_modes)]
+        return self.default_mode
 
     def observe(self, epoch_mode: str, comm_time: float) -> None:
         if self.switched:
             return
-        if epoch_mode == "allreduce":
+        if epoch_mode == self.default_mode:
             self.last_allreduce_comm = comm_time
-        else:  # probe epoch result
-            self.probes += 1
-            if comm_time < self.switch_margin * self.last_allreduce_comm:
-                self.switched = True
+            return
+        # Probe epoch result: record it; decide once every challenger has
+        # a measurement (ties break toward the earlier probe_modes entry).
+        self.probes += 1
+        self.probe_comms[epoch_mode] = comm_time
+        if not all(m in self.probe_comms for m in self.probe_modes):
+            return
+        winner = min(self.probe_modes, key=lambda m: self.probe_comms[m])
+        if self.probe_comms[winner] \
+                < self.switch_margin * self.last_allreduce_comm:
+            self.switched = True
+            self.current = winner
 
 
 class DistributedTrainer:
@@ -244,7 +271,6 @@ class DistributedTrainer:
                                           factor=cfg.lr_factor,
                                           min_lr=cfg.min_lr,
                                           warmup=cfg.lr_warmup_epochs)
-        self._drs = _DrsState(switch_margin=strategy.drs_switch_margin)
         # Equal batches per worker (paper Section 3.3): the step count is
         # set by the *average* shard so mildly imbalanced partitions (e.g.
         # relation partition at small scales) do not inflate the epoch.
@@ -268,6 +294,34 @@ class DistributedTrainer:
         else:
             self._projections = None
         self._sel_rng = selection_rng(cfg.seed)
+
+        # Topology-aware collective stack (collective != "flat"): node
+        # groups are resolved once per world from the network's membership
+        # (the elastic supervisor's survivor occupancy) or the global rank
+        # ids.  Over a flat NetworkModel the groups degenerate to
+        # singletons and the hierarchical stack *is* the flat ring, so
+        # "hier" is always safe to request.
+        if strategy.collective != "flat":
+            self._hier_groups = hierarchical.resolve_groups(
+                self.network, n_nodes, global_ranks=self.global_ranks)
+        else:
+            self._hier_groups = None
+        if strategy.error_feedback and self._hier_groups is not None:
+            # Hop-boundary error feedback: the *node* owns the error its
+            # boundary quantizer makes, keyed by stable physical node id so
+            # residual ownership survives elastic membership changes.
+            self._hier_entity_residuals = NodeResiduals(
+                self._hier_groups.node_ids, store.n_entities, entity_width)
+            self._hier_relation_residuals = NodeResiduals(
+                self._hier_groups.node_ids, store.n_relations,
+                relation_width)
+        else:
+            self._hier_entity_residuals = None
+            self._hier_relation_residuals = None
+        self._dense_mode = self._resolve_dense_mode()
+        self._drs = _DrsState(switch_margin=strategy.drs_switch_margin,
+                              default_mode=self._dense_mode,
+                              probe_modes=self._resolve_probe_modes())
 
         #: The (partial, then final) outcome of this trainer's run.  Lives
         #: on the instance so checkpoints can capture cumulative counters
@@ -332,11 +386,51 @@ class DistributedTrainer:
 
     # ------------------------------------------------------------------
 
+    def _resolve_dense_mode(self) -> str:
+        """Which dense collective non-allgather steps use.
+
+        ``flat`` and ``hier`` are explicit requests; ``auto`` compares the
+        alpha-beta cost of a genuinely flat ring (every hop priced on the
+        between-node link, as a topology-unaware stack would run) against
+        the two-level stack, both on the dense entity payload, and takes
+        the cheaper — preferring flat on ties, so a flat
+        :class:`~repro.comm.network.NetworkModel` always resolves to flat.
+        """
+        collective = self.strategy.collective
+        if collective == "flat" or self.n_nodes == 1:
+            return "allreduce"
+        if collective == "hier":
+            return "hierarchical"
+        nbytes = float(dense_bytes(self.store.n_entities, self._entity_width))
+        _, inter = hierarchical.hop_models(self.network)
+        flat_time = inter.allreduce_ring_time(nbytes, self.n_nodes)
+        hier_time = self.network.allreduce_ring_time(nbytes, self.n_nodes)
+        return "hierarchical" if hier_time < flat_time else "allreduce"
+
+    def _resolve_probe_modes(self) -> tuple:
+        """DRS challenger modes (cycled on probe epochs).
+
+        The paper's two-way rule probes allgather only; with
+        ``collective="auto"`` on a multi-rank world the dense mode the cost
+        model did *not* pick joins the rotation, making the switch a
+        three-way measured choice among flat-ring, hierarchical and
+        allgather.
+        """
+        if self.strategy.comm_mode != "dynamic":
+            return ("allgather",)
+        if self.strategy.collective == "auto" and self.n_nodes > 1:
+            other = ("hierarchical" if self._dense_mode == "allreduce"
+                     else "allreduce")
+            return ("allgather", other)
+        return ("allgather",)
+
     def _epoch_mode(self, epoch: int) -> str:
         mode = self.strategy.comm_mode
         if mode == "dynamic":
             return self._drs.mode_for_epoch(epoch,
                                             self.strategy.drs_probe_interval)
+        if mode == "allreduce" and self._dense_mode == "hierarchical":
+            return "hierarchical"
         return mode
 
     def _communicate(self, grads: list[SparseRows], mode: str,
@@ -345,10 +439,12 @@ class DistributedTrainer:
                      kind: str = "entity") -> tuple[SparseRows, float]:
         """Combine per-rank gradients; return (combined, selection sparsity).
 
-        The allreduce path is lossless and dense on the wire; the allgather
-        path first applies row selection and quantization per rank.
-        ``residuals`` (one store per rank, matching this matrix) enables
-        error feedback around the quantizer.  ``kind`` ("entity" or
+        The allreduce path is lossless and dense on the wire; the
+        hierarchical path is the two-level stack (dense and lossless
+        without quantization, re-quantized at the hop boundary with it);
+        the allgather path first applies row selection and quantization per
+        rank.  ``residuals`` (one store per rank, matching this matrix)
+        enables error feedback around the quantizer.  ``kind`` ("entity" or
         "relation") prefixes every collective's op label so comm stats
         attribute traffic per gradient matrix — the relation partition's
         no-communication invariant is then directly auditable as the
@@ -362,13 +458,30 @@ class DistributedTrainer:
             try:
                 width = (self._entity_width if kind == "entity"
                          else self._relation_width)
+                flat_net = None
+                if self._hier_groups is not None:
+                    # With an explicit collective stack, "allreduce" means
+                    # a genuinely flat single-level ring: every hop priced
+                    # on the between-node link, not the cluster network's
+                    # lump hierarchical approximation.
+                    _, flat_net = hierarchical.hop_models(self.network)
+                    if flat_net is self.network:
+                        flat_net = None
                 collectives.allreduce_bytes(
                     self.cluster, dense_bytes(matrix_rows, width),
                     algo=strategy.allreduce_algo,
-                    op_label=f"{kind}_allreduce")
+                    op_label=f"{kind}_allreduce", network=flat_net)
             except CollectiveGaveUp:
                 self._dense_fallback(matrix_rows, kind)
             return combine_sparse(grads, impl=self.config.accum_impl), 0.0
+
+        if mode == "hierarchical":
+            try:
+                return self._communicate_hier(grads, matrix_rows, residuals,
+                                              kind)
+            except CollectiveGaveUp:
+                self._dense_fallback(matrix_rows, kind)
+                return combine_sparse(grads, impl=self.config.accum_impl), 0.0
 
         try:
             return self._communicate_allgather(grads, residuals, kind)
@@ -396,6 +509,87 @@ class DistributedTrainer:
                 op_label=f"{kind}_fallback_dense")
         self._fallbacks += 1
 
+    def _communicate_hier(self, grads: list[SparseRows], matrix_rows: int,
+                          residuals: list[ResidualStore] | None,
+                          kind: str = "entity") -> tuple[SparseRows, float]:
+        """The two-level path of :meth:`_communicate`.
+
+        Without quantization this is a dense, lossless allreduce over the
+        hierarchical stack — bitwise identical combination to the flat
+        allreduce branch, only the charged hops differ.  With quantization
+        it delegates to the hop-boundary re-quantizing variant.
+        """
+        if self.strategy.quantization_bits:
+            return self._communicate_hier_quant(grads, residuals, kind)
+        width = (self._entity_width if kind == "entity"
+                 else self._relation_width)
+        hierarchical.hier_allreduce_bytes(
+            self.cluster, dense_bytes(matrix_rows, width), self._hier_groups,
+            op_label=f"{kind}_hier")
+        return combine_sparse(grads, impl=self.config.accum_impl), 0.0
+
+    def _communicate_hier_quant(self, grads: list[SparseRows],
+                                residuals: list[ResidualStore] | None,
+                                kind: str = "entity"
+                                ) -> tuple[SparseRows, float]:
+        """Compressed two-level path: re-quantization at the hop boundary.
+
+        Per rank: inject then **clear** the rank residual (this path never
+        re-stores it — the node-level store owns the compression error from
+        here on, and a rank residual left dirty would re-apply every
+        epoch), then row selection.  The intra hop gathers the selected
+        rows at full precision (on-node bandwidth is nearly free; an
+        on-node quantize would spend accuracy for nothing).  Each node then
+        combines its members' rows, folds in its node residual, and
+        quantizes *once* — the expensive inter ring carries 1-bit/2-bit
+        codes, and no payload survives more than one lossy encode per
+        traversal.  The intra broadcast fans the gathered codes back out.
+        """
+        strategy = self.strategy
+        groups = self._hier_groups
+        node_res = (self._hier_entity_residuals if kind == "entity"
+                    else self._hier_relation_residuals)
+        dropped = kept = 0
+        processed: list[SparseRows] = []
+        for rank, grad in enumerate(grads):
+            g = grad
+            if residuals is not None:
+                g = residuals[rank].inject(g)
+                residuals[rank].clear()
+            if strategy.selection != "none":
+                g, stats = select(g, strategy.selection, self._sel_rng)
+                dropped += stats.rows_in - stats.rows_kept
+                kept += stats.rows_kept
+            processed.append(g)
+
+        hierarchical.hier_intra_gather_bytes(
+            self.cluster, [g.nbytes_wire for g in processed], groups,
+            op_label=f"{kind}_hier")
+
+        payloads = []
+        for node, members in zip(groups.node_ids, groups.members):
+            node_sum = combine_sparse([processed[r] for r in members],
+                                      impl=self.config.accum_impl)
+            if node_res is not None:
+                node_sum = node_res.inject(node, node_sum)
+            q = quantize(node_sum, strategy.quantization_bits,
+                         stat=strategy.quantization_stat, rng=self._sel_rng)
+            if node_res is not None:
+                node_res.store(node, quantization_error(node_sum, q))
+            payloads.append(q)
+
+        node_bytes = [q.nbytes_wire for q in payloads]
+        hierarchical.hier_inter_allgatherv_bytes(
+            self.cluster, node_bytes, groups, op_label=f"{kind}_hier")
+        combined = combine_sparse([dequantize(q) for q in payloads],
+                                  impl=self.config.accum_impl)
+        hierarchical.hier_intra_bcast_bytes(
+            self.cluster, sum(node_bytes), groups, op_label=f"{kind}_hier")
+
+        total_rows = dropped + kept
+        sparsity = dropped / total_rows if total_rows else 0.0
+        return combined, sparsity
+
     def _communicate_allgather(self, grads: list[SparseRows],
                                residuals: list[ResidualStore] | None,
                                kind: str = "entity"
@@ -418,10 +612,9 @@ class DistributedTrainer:
         if strategy.quantization_bits:
             payloads = []
             for rank, g in enumerate(processed):
-                if strategy.quantization_bits == 1:
-                    q = quantize_1bit(g, stat=strategy.quantization_stat)
-                else:
-                    q = quantize_2bit(g, rng=self._sel_rng)
+                q = quantize(g, strategy.quantization_bits,
+                             stat=strategy.quantization_stat,
+                             rng=self._sel_rng)
                 if residuals is not None:
                     residuals[rank].store(quantization_error(g, q))
                 payloads.append(q)
@@ -536,6 +729,8 @@ class DistributedTrainer:
         result.world_lineage = list(self.world_lineage)
         result.final_val_mrr = result.logs[-1].val_mrr if result.logs else float("nan")
         result.bytes_total = self.cluster.stats.nbytes_total
+        result.comm_by_hop = {hop: list(v) for hop, v
+                              in self.cluster.stats.by_hop.items()}
         result.comm_retries = self.cluster.stats.retries
         result.comm_fallbacks = self._fallbacks
         result.straggler_skew = self.cluster.straggler_skew
@@ -596,11 +791,16 @@ class DistributedTrainer:
                 np.mean([o.nonzero_entity_rows for o in outputs]))
 
             # Entity gradients always travel; drop numerically-zero rows
-            # on the gather path (the baseline's sparse updates).
+            # whenever the wire format is sparse (the baseline's sparse
+            # updates): every allgather step, and hierarchical steps whose
+            # hop boundary re-quantizes — a dense hierarchical step carries
+            # the full matrix just like allreduce.
+            sparse_wire = mode == "allgather" or (
+                mode == "hierarchical" and strategy.quantization_bits > 0)
             entity_parts = [
-                o.entity_grad if mode == "allreduce" else
                 o.entity_grad.select(
                     np.linalg.norm(o.entity_grad.values, axis=1) > zero_tol)
+                if sparse_wire else o.entity_grad
                 for o in outputs
             ]
             entity_combined, sparsity = self._communicate(
@@ -638,6 +838,8 @@ class DistributedTrainer:
 
             if mode == "allreduce":
                 result.allreduce_steps += 1
+            elif mode == "hierarchical":
+                result.hier_steps += 1
             else:
                 result.allgather_steps += 1
 

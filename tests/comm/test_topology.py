@@ -85,6 +85,71 @@ class TestBroadcast:
         assert net.broadcast_time(1 << 12, 1) == 0.0
 
 
+class TestParse:
+    def test_full_spec(self):
+        net = HierarchicalNetwork.parse(
+            "rpn=4,intra=1e-7:2e-11,inter=5e-6:1.25e-10")
+        assert net.ranks_per_node == 4
+        assert net.intra.alpha == 1e-7
+        assert net.intra.beta == 2e-11
+        assert net.inter.alpha == 5e-6
+        assert net.inter.beta == 1.25e-10
+
+    def test_unset_keys_keep_defaults(self):
+        default = HierarchicalNetwork()
+        net = HierarchicalNetwork.parse("rpn=8")
+        assert net.ranks_per_node == 8
+        assert net.intra == default.intra
+        assert net.inter == default.inter
+
+    def test_component_keys_and_flops(self):
+        net = HierarchicalNetwork.parse("inter_alpha=8e-6,flops=5e10")
+        assert net.inter.alpha == 8e-6
+        assert net.inter.beta == HierarchicalNetwork().inter.beta
+        assert net.intra.node_flops == 5e10
+        assert net.inter.node_flops == 5e10
+
+    def test_whitespace_and_empty_entries_tolerated(self):
+        net = HierarchicalNetwork.parse(" rpn = 2 ,, inter_beta = 1e-9 ,")
+        assert net.ranks_per_node == 2
+        assert net.inter.beta == 1e-9
+
+    def test_unknown_key_names_the_entry(self):
+        with pytest.raises(ValueError, match="unknown --net key 'bogus'"):
+            HierarchicalNetwork.parse("bogus=1")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ValueError, match="duplicate --net key 'rpn'"):
+            HierarchicalNetwork.parse("rpn=2,rpn=4")
+
+    def test_shorthand_collides_with_component_form(self):
+        with pytest.raises(ValueError, match="duplicate --net key"):
+            HierarchicalNetwork.parse("inter=1e-6:1e-9,inter_alpha=2e-6")
+
+    def test_component_then_shorthand_also_collides(self):
+        with pytest.raises(ValueError, match="duplicate --net key 'intra'"):
+            HierarchicalNetwork.parse("intra_beta=1e-11,intra=1e-7:2e-11")
+
+    def test_both_component_forms_coexist(self):
+        net = HierarchicalNetwork.parse("intra_alpha=1e-7,intra_beta=3e-11")
+        assert net.intra.alpha == 1e-7
+        assert net.intra.beta == 3e-11
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ValueError, match="expected key=value"):
+            HierarchicalNetwork.parse("rpn")
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(ValueError, match="expected alpha:beta"):
+            HierarchicalNetwork.parse("inter=5e-6")
+
+    def test_describe_round_trips_the_levels(self):
+        net = HierarchicalNetwork.parse("rpn=4,inter=5e-6:1.25e-10")
+        text = net.describe()
+        assert "rpn=4" in text
+        assert "a=5e-06" in text
+
+
 class TestTrainerIntegration:
     def test_trainer_accepts_hierarchical_network(self, net):
         """Duck-typed substitution into the full training stack."""

@@ -187,6 +187,83 @@ class TestElasticCli:
             "epoch-0001", "epoch-0002", "epoch-0003"]
 
 
+class TestCollectiveCli:
+    _args = TestMain._args
+
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.net is None
+        assert args.collective == "flat"
+
+    def test_unknown_collective_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--collective", "tree"])
+
+    def test_hier_run_reports_hop_telemetry(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, [
+            "--nodes", "4", "--net", "rpn=2", "--collective", "hier",
+            "--json"]))
+        assert rc == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["hier_steps"] > 0
+        assert "intra" in row["comm_by_hop"]
+        assert "inter" in row["comm_by_hop"]
+
+    def test_auto_collective_runs(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, [
+            "--nodes", "4", "--net", "rpn=2,inter=5e-6:1.25e-10",
+            "--collective", "auto", "--json"]))
+        assert rc == 0
+        row = json.loads(capsys.readouterr().out)
+        assert "hier" in row["method"]
+
+    def test_net_text_output_describes_topology(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, [
+            "--nodes", "2", "--net", "rpn=2", "--collective", "hier"]))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "network : rpn=2" in out
+        assert "collective=hier" in out
+
+    def test_flat_run_keeps_row_shape(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, ["--json"]))
+        assert rc == 0
+        row = json.loads(capsys.readouterr().out)
+        assert "hier_steps" not in row
+        assert "comm_by_hop" not in row
+
+    def test_bad_net_spec_exits_2_with_diagnosis(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, ["--net", "frobnicate=1"]))
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "frobnicate" in err
+
+    def test_duplicate_net_key_exits_2(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, ["--net", "rpn=2,rpn=4"]))
+        assert rc == 2
+        assert "duplicate --net key 'rpn'" in capsys.readouterr().err
+
+    def test_hier_with_faults_and_compression(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, [
+            "--strategy", "DRS+1-bit+RP+SS", "--nodes", "4",
+            "--net", "rpn=2", "--collective", "hier", "--json",
+            "--faults", "drop=0.2,seed=5"]))
+        assert rc == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["comm_retries"] > 0
+
+    def test_hier_elastic_recovers(self, tmp_path, capsys):
+        rc = main(self._args(tmp_path, [
+            "--nodes", "4", "--max-epochs", "4", "--elastic", "--json",
+            "--net", "rpn=2", "--collective", "hier",
+            "--faults", "rankloss=2:2"]))
+        assert rc == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["restarts"] == 1
+        assert row["world_lineage"] == [4, 3]
+
+
 class TestEvalKnobs:
     def _args(self, tmp_path, extra=()):
         store = make_tiny_kg()
