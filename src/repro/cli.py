@@ -46,8 +46,15 @@ Zipfian traffic simulation against it::
     python -m repro serve --checkpoint ckpts --topk 10 --query 12,3
     python -m repro serve --checkpoint ckpts --simulate 100000
 
-Exit codes: 0 success, 2 bad checkpoint resume/serve or bad query, 3
-training killed by an unrecovered collective fault or rank loss.
+Export the 1-bit sidecar and serve from the binary memory tier (Hamming
+candidate generation + full-precision re-rank of the best 512)::
+
+    python -m repro export-binary --checkpoint ckpts
+    python -m repro serve --checkpoint ckpts --tier binary --rerank-k 512 \
+        --query 12,3
+
+Exit codes: 0 success, 2 bad checkpoint resume/serve/export or bad query,
+3 training killed by an unrecovered collective fault or rank loss.
 """
 
 from __future__ import annotations
@@ -201,6 +208,18 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="score at most N candidates at a time "
                              "(bounds peak memory)")
+    parser.add_argument("--tier", choices=("dense", "binary"),
+                        default="dense",
+                        help="memory tier: 'dense' scores every candidate "
+                             "in full precision, 'binary' generates "
+                             "candidates by Hamming distance over the 1-bit "
+                             "sidecar (`repro export-binary`) and re-ranks "
+                             "only the best --rerank-k (default: dense)")
+    parser.add_argument("--rerank-k", type=int, default=1024, metavar="K",
+                        help="with --tier binary: candidate pool size the "
+                             "full-precision re-rank scores; K >= the "
+                             "entity count reproduces the dense tier "
+                             "bitwise (default: 1024)")
     parser.add_argument("--query", action="append", default=[],
                         metavar="H,R", help="answer top-k tails of (H, R); "
                                             "repeatable")
@@ -222,6 +241,51 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", action="store_true",
                         help="emit query answers and telemetry as JSON")
     return parser
+
+
+def build_export_binary_parser() -> argparse.ArgumentParser:
+    from .models import MODEL_REGISTRY
+    parser = argparse.ArgumentParser(
+        prog="repro export-binary",
+        description="Binarize a trained checkpoint's entity matrix into a "
+                    "checksummed binary.npz sidecar (1 bit per dimension + "
+                    "one float32 scale per row) for the serving layer's "
+                    "binary memory tier")
+    parser.add_argument("--checkpoint", required=True, metavar="DIR",
+                        help="checkpoint directory, or a parent directory "
+                             "(the newest checkpoint under it is exported)")
+    parser.add_argument("--model", choices=sorted(MODEL_REGISTRY),
+                        default="complex",
+                        help="architecture that wrote the checkpoint "
+                             "(default: complex)")
+    parser.add_argument("--stat", choices=("avg", "max"), default="avg",
+                        help="per-row scale statistic (default: avg)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the export summary as JSON")
+    return parser
+
+
+def export_binary_main(argv: list[str]) -> int:
+    from .serve import export_binary
+    from .training.checkpoint import CheckpointError
+
+    args = build_export_binary_parser().parse_args(argv)
+    try:
+        _, summary = export_binary(args.checkpoint, model_name=args.model,
+                                   stat=args.stat)
+    except (CheckpointError, ValueError) as exc:
+        print(f"error: cannot export {args.checkpoint}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump(summary, sys.stdout, indent=2)
+        print()
+    else:
+        for key, value in summary.items():
+            if key == "memory_reduction":
+                value = f"{value:.1f}x"
+            print(f"{key:>18}: {value}")
+    return 0
 
 
 def _parse_id_pair(text: str, what: str) -> tuple[int, int]:
@@ -250,14 +314,15 @@ def serve_main(argv: list[str]) -> int:
                                              seed=args.seed)
     try:
         store = EmbeddingStore.from_checkpoint(
-            args.checkpoint, model_name=args.model, dataset=dataset)
+            args.checkpoint, model_name=args.model, dataset=dataset,
+            with_binary=args.tier == "binary")
+        engine = QueryEngine(store, cache_capacity=args.cache_capacity,
+                             chunk_entities=args.chunk_entities,
+                             tier=args.tier, rerank_k=args.rerank_k)
     except (CheckpointError, ValueError) as exc:
         print(f"error: cannot serve {args.checkpoint}: {exc}",
               file=sys.stderr)
         return 2
-
-    engine = QueryEngine(store, cache_capacity=args.cache_capacity,
-                         chunk_entities=args.chunk_entities)
     out: dict = {"store": store.summary(), "answers": []}
     if not args.json:
         print(f"serving : {store.summary()}")
@@ -313,6 +378,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "export-binary":
+        return export_binary_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.dataset_file:

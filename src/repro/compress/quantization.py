@@ -124,6 +124,36 @@ def quantize_1bit(grad: SparseRows, stat: str = "max") -> QuantizedRows:
                          dim=grad.dim, bits=1, stat=stat)
 
 
+def binarize_matrix(matrix: np.ndarray, stat: str = "avg"
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Post-training binarization of a dense embedding matrix.
+
+    The export helper behind the serving layer's binary tier: every row of
+    ``matrix`` becomes packed sign bits plus one float32 scale, produced by
+    the *same* 1-bit quantizer the gradient compression path uses (so the
+    sign convention for zeros and the per-row statistics are shared, not
+    re-implemented).  Only the single-scale statistics make sense here —
+    the split (two-scale) stats describe a gradient's sign asymmetry, not
+    a storage format — so ``stat`` must be ``"avg"`` or ``"max"``.
+
+    Returns ``(codes, scales)``: ``codes`` is ``(rows, ceil(dim / 8))``
+    uint8 (row-major :func:`~repro.compress.packing.pack_signs` layout),
+    ``scales`` is ``(rows,)`` float32.  The approximate reconstruction is
+    ``unpack_signs(codes, dim) * scales[:, None]``.
+    """
+    if stat not in ("avg", "max"):
+        raise ValueError(
+            f"binarize_matrix needs a single-scale statistic ('avg' or "
+            f"'max'), got {stat!r}")
+    matrix = np.asarray(matrix, dtype=np.float32)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    rows = SparseRows(indices=np.arange(len(matrix), dtype=np.int64),
+                      values=matrix, n_rows=len(matrix))
+    q = quantize_1bit(rows, stat=stat)
+    return q.codes, q.scales[:, 0].astype(np.float32)
+
+
 def quantize_2bit(grad: SparseRows, rng: np.random.Generator) -> QuantizedRows:
     """TernGrad-style 2-bit quantization with the paper's mean statistic."""
     values = grad.values

@@ -36,6 +36,13 @@ class KGEModel(abc.ABC):
     #: Real-valued storage width multiplier (2 for complex-valued models).
     width_factor: int = 1
 
+    #: How the score relates the query vector to the candidate: "dot"
+    #: (score is a dot product — DistMult, ComplEx) or "distance" (score
+    #: is a negated distance to a target point — TransE, RotatE).  The
+    #: binarized serving tier picks its candidate-ranking approximation
+    #: from this (see repro.serve.binary.BinaryStore.approx_scores).
+    score_geometry: str = "dot"
+
     def __init__(self, n_entities: int, n_relations: int, dim: int,
                  seed: int = 0):
         if n_entities < 1 or n_relations < 1 or dim < 1:
@@ -162,6 +169,61 @@ class KGEModel(abc.ABC):
             r, g_r, n_rows=self.n_relations, impl=accum_impl,
             plan=relation_plan)
         return entity_grad, relation_grad
+
+    # -- binary-tier candidate generation ----------------------------------
+
+    def query_vector(self, anchors: np.ndarray, rels: np.ndarray,
+                     tail_side: bool = True) -> np.ndarray:
+        """Full-precision query vector for Hamming-space candidate search.
+
+        Returns shape ``(batch, entity_width)`` float32: for each partial
+        triple — ``(anchor, rel, ?)`` when ``tail_side`` else
+        ``(?, rel, anchor)`` — a vector in *entity* coordinates whose sign
+        pattern predicts good completions: a candidate entity whose sign
+        bits agree with this vector's on more coordinates scores
+        (approximately) higher under :meth:`score`.  For dot-product
+        models the vector is the exact linear form the score contracts
+        with the candidate (``score = q . e_t``); for distance models it
+        is the translation/rotation target the candidate should sit near.
+        The serving layer packs its signs and ranks candidates by packed
+        XOR-popcount against a :class:`~repro.serve.binary.BinaryStore`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a binary-tier query "
+            f"vector")
+
+    def score_candidates(self, anchors: np.ndarray, rels: np.ndarray,
+                         candidates: np.ndarray,
+                         tail_side: bool = True) -> np.ndarray:
+        """Score each query against its *own* candidate list.
+
+        ``candidates`` is ``(batch, k)`` int64 — row ``i`` holds the
+        entity ids completing query ``i``'s partial triple.  Returns
+        ``(batch, k)`` float32 scores, higher = more plausible, the
+        binary tier's re-rank primitive.  Unlike the flat triple scorer
+        this gathers each query's candidate rows once and scores them as
+        a block, so a pool re-rank costs one batched contraction instead
+        of ``batch * k`` independent triple gathers.
+
+        Dot-geometry models contract the :meth:`query_vector` linear form
+        with the gathered rows here; distance models override with their
+        own residual norm.
+        """
+        anchors = np.asarray(anchors, dtype=np.int64)
+        rels = np.asarray(rels, dtype=np.int64)
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if self.score_geometry == "dot":
+            q = self.query_vector(anchors, rels, tail_side=tail_side)
+            return np.einsum("mw,mkw->mk", q, self.entity_emb[candidates])
+        m, take = candidates.shape
+        flat_anchor = np.repeat(anchors, take)
+        flat_rel = np.repeat(rels, take)
+        flat_cand = candidates.ravel()
+        if tail_side:
+            flat = self.score(flat_anchor, flat_rel, flat_cand)
+        else:
+            flat = self.score(flat_cand, flat_rel, flat_anchor)
+        return np.asarray(flat, dtype=np.float32).reshape(m, take)
 
     # -- geometry access ---------------------------------------------------
 

@@ -88,6 +88,23 @@ class ComplEx(KGEModel):
         e_re, e_im = self._split(self.entity_emb[lo:hi])
         return a @ e_re.T + b @ e_im.T
 
+    def query_vector(self, anchors, rels, tail_side: bool = True):
+        """The linear form the score contracts with the candidate, in the
+        ``[real | imag]`` layout: ``phi = q . e_t`` with
+        ``q = (h_re r_re - h_im r_im, h_re r_im + h_im r_re)`` on the tail
+        side, and ``phi = q . e_h`` with
+        ``q = (r_re t_re + r_im t_im, r_re t_im - r_im t_re)`` on the head
+        side — the same regroupings the block scorers use."""
+        anchors = np.asarray(anchors, dtype=np.int64)
+        rels = np.asarray(rels, dtype=np.int64)
+        e_re, e_im = self._split(self.entity_emb[anchors])
+        r_re, r_im = self._split(self.relation_emb[rels])
+        if tail_side:
+            return np.concatenate([e_re * r_re - e_im * r_im,
+                                   e_re * r_im + e_im * r_re], axis=-1)
+        return np.concatenate([r_re * e_re + r_im * e_im,
+                               r_re * e_im - r_im * e_re], axis=-1)
+
     def flops_per_example(self, backward: bool = True) -> int:
         # Forward: 2 complex hadamard products + dot = ~14 * dim mul-adds.
         forward = 14 * self.dim

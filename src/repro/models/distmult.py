@@ -45,6 +45,14 @@ class DistMult(KGEModel):
         e_t = self.entity_emb[np.asarray(t, dtype=np.int64)]
         return (e_r * e_t) @ self.entity_emb[lo:hi].T
 
+    def query_vector(self, anchors, rels, tail_side: bool = True):
+        """The score is symmetric and already linear in the candidate:
+        ``phi = (h * r) . t = (r * t) . h``, so the query vector is the
+        elementwise product of the two fixed embeddings."""
+        e = self.entity_emb[np.asarray(anchors, dtype=np.int64)]
+        r = self.relation_emb[np.asarray(rels, dtype=np.int64)]
+        return e * r
+
     def flops_per_example(self, backward: bool = True) -> int:
         forward = 3 * self.dim
         return forward * (4 if backward else 1)

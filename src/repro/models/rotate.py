@@ -24,6 +24,7 @@ class RotatE(KGEModel):
     """Rotation model with closed-form gradients."""
 
     width_factor = 2  # entity storage: [real | imag]
+    score_geometry = "distance"
 
     def __init__(self, n_entities: int, n_relations: int, dim: int,
                  seed: int = 0):
@@ -92,6 +93,33 @@ class RotatE(KGEModel):
         e_re, e_im = self._split(self.entity_emb[lo:hi])
         u = e_re[None, :, :] - tr_re[:, None, :]
         v = e_im[None, :, :] - tr_im[:, None, :]
+        return -np.sqrt(np.maximum(u * u + v * v, 1e-12)).sum(axis=-1)
+
+    def query_vector(self, anchors, rels, tail_side: bool = True):
+        """Rotation target: the best tail sits at ``h * e^{i theta}``, the
+        best head at ``t * e^{-i theta}`` (the same backward rotation
+        ``score_heads_block`` uses), concatenated ``[real | imag]``."""
+        anchors = np.asarray(anchors, dtype=np.int64)
+        rels = np.asarray(rels, dtype=np.int64)
+        if tail_side:
+            hr_re, hr_im = self._rotated_heads(anchors, rels)
+            return np.concatenate([hr_re, hr_im], axis=-1)
+        t_re, t_im = self._split(self.entity_emb[anchors])
+        theta = self.relation_emb[rels]
+        cos, sin = np.cos(theta), np.sin(theta)
+        return np.concatenate([t_re * cos + t_im * sin,
+                               -t_re * sin + t_im * cos], axis=-1)
+
+    def score_candidates(self, anchors, rels, candidates,
+                         tail_side: bool = True):
+        """Pool re-rank: modulus of each candidate's residual to the
+        rotation target ``q`` — the same forward/backward-rotated point
+        ``query_vector`` returns, so both directions reduce to one
+        complex-residual formula."""
+        q = self.query_vector(anchors, rels, tail_side=tail_side)
+        cand = self.entity_emb[np.asarray(candidates, dtype=np.int64)]
+        u = cand[..., :self.dim] - q[:, None, :self.dim]
+        v = cand[..., self.dim:] - q[:, None, self.dim:]
         return -np.sqrt(np.maximum(u * u + v * v, 1e-12)).sum(axis=-1)
 
     def flops_per_example(self, backward: bool = True) -> int:

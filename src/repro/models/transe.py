@@ -19,6 +19,7 @@ class TransE(KGEModel):
     """Translation-based model with L1 or L2 distance."""
 
     width_factor = 1
+    score_geometry = "distance"
 
     def __init__(self, n_entities: int, n_relations: int, dim: int,
                  seed: int = 0, norm: int = 1):
@@ -68,6 +69,26 @@ class TransE(KGEModel):
         if self.norm == 1:
             return -np.abs(diffs).sum(axis=-1)
         return -np.sqrt(np.maximum(np.sum(diffs * diffs, axis=-1), 1e-12))
+
+    def query_vector(self, anchors, rels, tail_side: bool = True):
+        """Translation target: the best tail sits at ``h + r``, the best
+        head at ``t - r``; sign agreement with the target proxies small
+        translation distance."""
+        e = self.entity_emb[np.asarray(anchors, dtype=np.int64)]
+        r = self.relation_emb[np.asarray(rels, dtype=np.int64)]
+        return e + r if tail_side else e - r
+
+    def score_candidates(self, anchors, rels, candidates,
+                         tail_side: bool = True):
+        """Pool re-rank: residual of each candidate to the translation
+        target ``q`` (the distance is symmetric in the residual's sign,
+        so one formula covers both directions)."""
+        q = self.query_vector(anchors, rels, tail_side=tail_side)
+        d = (self.entity_emb[np.asarray(candidates, dtype=np.int64)]
+             - q[:, None, :])
+        if self.norm == 1:
+            return -np.abs(d).sum(axis=-1)
+        return -np.sqrt(np.maximum(np.sum(d * d, axis=-1), 1e-12))
 
     def flops_per_example(self, backward: bool = True) -> int:
         forward = 4 * self.dim

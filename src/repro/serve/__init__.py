@@ -7,9 +7,14 @@ queries through the chunked scoring blocks and CSR known-fact filter the
 evaluator uses, an exact :class:`LRUCache` absorbs skewed traffic, and
 :class:`ServeStats` reports latency percentiles and hit rates.
 :class:`ZipfianTraffic` + :func:`replay` simulate the "millions of users"
-workload for benchmarks.  See ``docs/serving.md``.
+workload for benchmarks.  :class:`BinaryStore` (see
+:mod:`repro.serve.binary`) adds the 1-bit memory tier: Hamming-space
+candidate generation re-ranked by the full-precision scorers
+(``QueryEngine(tier="binary")``).  See ``docs/serving.md``.
 """
 
+from .binary import (BinaryStore, binarize_model, export_binary,
+                     load_sidecar, save_sidecar)
 from .cache import LRUCache
 from .engine import QueryEngine, TopKResult
 from .stats import ServeStats
@@ -17,6 +22,7 @@ from .store import EmbeddingStore
 from .traffic import TrafficSpec, ZipfianTraffic, replay
 
 __all__ = [
+    "BinaryStore",
     "EmbeddingStore",
     "LRUCache",
     "QueryEngine",
@@ -24,5 +30,9 @@ __all__ = [
     "TopKResult",
     "TrafficSpec",
     "ZipfianTraffic",
+    "binarize_model",
+    "export_binary",
+    "load_sidecar",
     "replay",
+    "save_sidecar",
 ]

@@ -17,6 +17,28 @@ The engine answers four query shapes against a frozen
     models' ``[real | imag]`` half layout paired per coordinate through
     :meth:`~repro.models.base.KGEModel.entity_components`.
 
+Link-prediction queries run in one of two **memory tiers**:
+
+``tier="dense"`` (default)
+    Every candidate is scored through the full-precision block scorers —
+    the exact filtered-evaluation path.
+``tier="binary"``
+    Two stages.  Stage 1 scores every entity from the 1-bit
+    :class:`~repro.serve.binary.BinaryStore` alone: the Hamming distance
+    between the sign pattern of the model's full-precision
+    :meth:`~repro.models.base.KGEModel.query_vector` and the packed codes
+    (packed XOR + popcount — 32x less state touched than dense scoring),
+    weighted by each candidate's stored scale per the model's score
+    geometry, keeping the best ``rerank_k`` candidates (exact ties break
+    toward the smaller entity id).  Stage 2
+    re-ranks *only that pool* with the full-precision scorers.  Known
+    facts are pushed behind every unknown candidate in stage 1 and
+    NaN-masked in stage 2, so filtering semantics match the dense tier.
+    When ``rerank_k >= n_entities`` the pool is the complete id-ordered
+    entity set and stage 2 routes through the *same* dense block-scoring
+    code — results are bitwise identical to ``tier="dense"`` (scores,
+    tie-breaks, filtering) by construction.
+
 Two serving mechanisms sit on top of raw scoring:
 
 * an exact-LRU result cache keyed on every input that shapes the answer
@@ -41,11 +63,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..eval.ranking import scatter_known_nan
+from .binary import check_geometry
 from .cache import LRUCache
 from .stats import ServeStats
 from .store import EmbeddingStore
 
 METRICS = ("l2", "cosine")
+TIERS = ("dense", "binary")
 
 
 @dataclass(frozen=True)
@@ -83,15 +107,46 @@ def _topk_row(row: np.ndarray, k: int) -> TopKResult:
     return TopKResult(entities=order.astype(np.int64), scores=row[order])
 
 
+def _agreement(entities: np.ndarray, order_row: np.ndarray) -> float:
+    """Recall proxy: fraction of the final top-k the candidate stage alone
+    would have returned (its own best-first ranking truncated to the same
+    length).  1.0 means re-ranking changed nothing; vacuously 1.0 for an
+    empty answer."""
+    kk = len(entities)
+    if kk == 0:
+        return 1.0
+    return len(np.intersect1d(entities, order_row[:kk])) / kk
+
+
 class QueryEngine:
     """Serving facade over one :class:`EmbeddingStore`."""
 
     def __init__(self, store: EmbeddingStore, cache_capacity: int = 4096,
-                 chunk_entities: int | None = None):
+                 chunk_entities: int | None = None, tier: str = "dense",
+                 rerank_k: int = 1024):
+        if tier not in TIERS:
+            raise ValueError(f"unknown tier {tier!r}; one of {TIERS}")
+        if rerank_k < 1:
+            raise ValueError(f"rerank_k must be >= 1, got {rerank_k}")
+        if tier == "binary":
+            if store.binary is None:
+                raise ValueError(
+                    "tier='binary' needs a binarized store; export a "
+                    "sidecar with `repro export-binary` and load with "
+                    "with_binary=True, or build the store via "
+                    "EmbeddingStore.from_model(..., with_binary=True)")
+            check_geometry(store.binary, store.model.entity_emb)
         self.store = store
         self.cache = LRUCache(cache_capacity)
         self.stats = ServeStats()
         self.chunk_entities = chunk_entities
+        self.tier = tier
+        self.rerank_k = int(rerank_k)
+        # Cached results never cross tiers: a binary-tier answer at small
+        # rerank_k is not the dense answer, so the key says which path —
+        # and at which pool size — produced it.
+        self._tier_key = ("dense" if tier == "dense"
+                          else ("binary", self.rerank_k))
 
     # -- filtering ---------------------------------------------------------
 
@@ -162,7 +217,8 @@ class QueryEngine:
             anchor, rel, side = int(anchor), int(rel), bool(side)
             self._check_ids(anchor, rel)
             start = time.perf_counter()
-            key = ("tails" if side else "heads", anchor, rel, k, filt)
+            key = (self._tier_key, "tails" if side else "heads",
+                   anchor, rel, k, filt)
             hit = self.cache.get(key)
             kind = "topk_tails" if side else "topk_heads"
             if hit is not None:
@@ -183,13 +239,23 @@ class QueryEngine:
             for (i, anchor), u in zip(members, inverse):
                 result = scored[u]
                 results[i] = result
-                key = ("tails" if side else "heads", anchor, rel, k, filt)
+                key = (self._tier_key, "tails" if side else "heads",
+                       anchor, rel, k, filt)
                 self.cache.put(key, result)
                 self.stats.record(kind, share, cache_hit=False)
         return results
 
     def _group_topk(self, anchors: np.ndarray, rel: int, tail_side: bool,
                     k: int, filtered: bool) -> list[TopKResult]:
+        """Score one group of unique anchors through the engine's tier."""
+        if self.tier == "binary":
+            return self._group_topk_binary(anchors, rel, tail_side, k,
+                                           filtered)
+        return self._group_topk_dense(anchors, rel, tail_side, k, filtered)
+
+    def _group_topk_dense(self, anchors: np.ndarray, rel: int,
+                          tail_side: bool, k: int,
+                          filtered: bool) -> list[TopKResult]:
         """One chunked scoring call for every anchor sharing a relation."""
         model = self.store.model
         rels = np.full(len(anchors), rel, dtype=np.int64)
@@ -204,6 +270,82 @@ class QueryEngine:
                                           anchors, rels, tail_side=tail_side,
                                           keep=None)
         return [_topk_row(scores[i], k) for i in range(len(anchors))]
+
+    def _group_topk_binary(self, anchors: np.ndarray, rel: int,
+                           tail_side: bool, k: int,
+                           filtered: bool) -> list[TopKResult]:
+        """Hamming candidate generation, then full-precision re-rank."""
+        model = self.store.model
+        binary = self.store.binary
+        n = self.store.n_entities
+        m = len(anchors)
+        rels = np.full(m, rel, dtype=np.int64)
+
+        # Stage 1: pack the query vectors' signs, rank every entity by the
+        # scale-weighted packed-XOR-popcount score, keep the best rerank_k.
+        t0 = time.perf_counter()
+        vectors = model.query_vector(anchors, rels, tail_side=tail_side)
+        masked = None
+        if filtered:
+            if tail_side:
+                rows, cols, _ = self.store.filter_index.known_tails(anchors,
+                                                                    rels)
+            else:
+                rows, cols, _ = self.store.filter_index.known_heads(rels,
+                                                                    anchors)
+            masked = (rows, cols)
+        pools, order = binary.candidate_pools(
+            vectors, self.rerank_k, masked=masked,
+            geometry=model.score_geometry)
+        candidate_s = time.perf_counter() - t0
+
+        # Stage 2: full-precision re-rank of the pool only.
+        t1 = time.perf_counter()
+        take = pools.shape[1]
+        if take >= n:
+            # Complete pool: the dense path *is* the re-rank — same block
+            # calls, same NaN scatter, same tie-breaks, so the result is
+            # bitwise identical to tier="dense".
+            results = self._group_topk_dense(anchors, rel, tail_side, k,
+                                             filtered)
+        else:
+            scores = self._rerank_pools(anchors, rels, pools, tail_side,
+                                        masked, n)
+            results = []
+            for i in range(m):
+                # Pools are ascending-sorted, so the stable argsort inside
+                # _topk_row breaks score ties toward the smaller entity id
+                # — the dense tier's contract.
+                local = _topk_row(scores[i], k)
+                results.append(TopKResult(
+                    entities=pools[i][local.entities],
+                    scores=local.scores))
+        rerank_s = time.perf_counter() - t1
+
+        cand_share = candidate_s / m
+        rerank_share = rerank_s / m
+        for i, result in enumerate(results):
+            self.stats.record_tier(self.tier, cand_share, rerank_share,
+                                   _agreement(result.entities, order[i]))
+        return results
+
+    def _rerank_pools(self, anchors, rels, pools, tail_side, masked,
+                      n) -> np.ndarray:
+        """Score every (query, pool candidate) pair in one block call."""
+        model = self.store.model
+        m, take = pools.shape
+        scores = np.asarray(
+            model.score_candidates(anchors, rels, pools,
+                                   tail_side=tail_side),
+            dtype=np.float32).reshape(m, take)
+        if masked is not None and len(masked[0]):
+            # A partial pool only admits known facts once unknowns run
+            # out; whichever slipped in are NaN-masked exactly like the
+            # dense tier's scatter.
+            known = np.zeros((m, n), dtype=bool)
+            known[masked] = True
+            scores[np.take_along_axis(known, pools, axis=1)] = np.nan
+        return scores
 
     # -- nearest neighbors ---------------------------------------------------
 

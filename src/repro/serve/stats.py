@@ -25,6 +25,15 @@ class ServeStats:
         self.cache_hits = 0
         self.cache_misses = 0
         self._latencies = array("d")
+        self._latencies_by_kind = {kind: array("d") for kind in KINDS}
+        # Tiered-path windows, keyed by tier name ("binary", ...): stage
+        # latencies for the two stages of a tiered top-k, plus the per-query
+        # recall proxy (overlap between the re-ranked answer and the pure
+        # Hamming-ordered answer).  Populated only when a tiered engine
+        # serves; every derived rate below is 0.0 on an empty window.
+        self._tier_candidate_s: dict[str, array] = {}
+        self._tier_rerank_s: dict[str, array] = {}
+        self._tier_agreement: dict[str, array] = {}
 
     @property
     def n_queries(self) -> int:
@@ -42,18 +51,27 @@ class ServeStats:
             raise ValueError(f"unknown query kind {kind!r}; one of {KINDS}")
         self.by_kind[kind] += 1
         self._latencies.append(float(seconds))
+        self._latencies_by_kind[kind].append(float(seconds))
         if cache_hit is True:
             self.cache_hits += 1
         elif cache_hit is False:
             self.cache_misses += 1
 
+    def record_tier(self, tier: str, candidate_seconds: float,
+                    rerank_seconds: float, agreement: float) -> None:
+        """One tiered top-k query: stage-1 (candidate generation) and
+        stage-2 (re-rank) latencies, plus the recall proxy ``agreement``
+        (fraction of the final top-k that the candidate stage alone would
+        have ranked in its own top-k; 1.0 means re-ranking changed
+        nothing)."""
+        for window, value in ((self._tier_candidate_s, candidate_seconds),
+                              (self._tier_rerank_s, rerank_seconds),
+                              (self._tier_agreement, agreement)):
+            window.setdefault(tier, array("d")).append(float(value))
+
     def latency_percentiles(self, qs=(50.0, 99.0)) -> dict:
         """Exact latency percentiles in milliseconds, keyed ``p50``-style."""
-        if not self._latencies:
-            return {f"p{q:g}_ms": 0.0 for q in qs}
-        lat = np.frombuffer(self._latencies, dtype=np.float64)
-        values = np.percentile(lat, qs)
-        return {f"p{q:g}_ms": float(v) * 1e3 for q, v in zip(qs, values)}
+        return _percentiles_ms(self._latencies, qs)
 
     def snapshot(self) -> dict:
         """Flat summary: counts, p50/p99/mean latency, service rate, cache.
@@ -79,4 +97,49 @@ class ServeStats:
             "cache_hit_rate": self.cache_hit_rate,
         }
         out.update(self.latency_percentiles())
+        by_kind_latency = {
+            kind: _percentiles_ms(window)
+            for kind, window in self._latencies_by_kind.items()
+            if len(window)}
+        if by_kind_latency:
+            out["by_kind_latency"] = by_kind_latency
+        # Link-prediction-only percentiles: the latency surface the memory
+        # tiers actually differ on ('score' and 'nearest' take the same
+        # code path in every tier, and the full-scan neighbor queries
+        # would otherwise own the global tail).
+        linkpred = np.concatenate([
+            np.frombuffer(self._latencies_by_kind[kind], dtype=np.float64)
+            for kind in ("topk_tails", "topk_heads")])
+        out.update({f"topk_{k}": v
+                    for k, v in _percentiles_ms(linkpred).items()})
+        tiers = {}
+        for tier in sorted(self._tier_candidate_s):
+            cand = self._tier_candidate_s[tier]
+            rer = self._tier_rerank_s[tier]
+            agree = self._tier_agreement[tier]
+            entry = {
+                "n_queries": len(cand),
+                "mean_agreement": _mean(agree),
+                "candidate_mean_ms": _mean(cand) * 1e3,
+                "rerank_mean_ms": _mean(rer) * 1e3,
+            }
+            entry.update({f"candidate_{k}": v
+                          for k, v in _percentiles_ms(cand).items()})
+            entry.update({f"rerank_{k}": v
+                          for k, v in _percentiles_ms(rer).items()})
+            tiers[tier] = entry
+        if tiers:
+            out["tiers"] = tiers
         return out
+
+
+def _mean(window: array) -> float:
+    return float(np.frombuffer(window, dtype=np.float64).mean()) \
+        if len(window) else 0.0
+
+
+def _percentiles_ms(window: array, qs=(50.0, 99.0)) -> dict:
+    if not len(window):
+        return {f"p{q:g}_ms": 0.0 for q in qs}
+    values = np.percentile(np.frombuffer(window, dtype=np.float64), qs)
+    return {f"p{q:g}_ms": float(v) * 1e3 for q, v in zip(qs, values)}

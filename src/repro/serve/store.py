@@ -26,6 +26,7 @@ from ..kg.triples import FilterIndex, TripleStore
 from ..models import MODEL_REGISTRY, make_model
 from ..models.base import KGEModel
 from ..training import checkpoint as ckpt
+from .binary import BinaryStore, check_geometry, load_sidecar
 
 ENTITY_EMB_KEY = "model/entity_emb"
 RELATION_EMB_KEY = "model/relation_emb"
@@ -52,6 +53,9 @@ class EmbeddingStore:
     world_lineage: tuple = ()
     #: Where the snapshot came from (None for in-memory stores).
     checkpoint_path: str | None = None
+    #: Optional 1-bit candidate-generation tier (see
+    #: :mod:`repro.serve.binary`); required by ``QueryEngine(tier="binary")``.
+    binary: BinaryStore | None = None
     _frozen: bool = field(init=False, default=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -66,7 +70,7 @@ class EmbeddingStore:
     @classmethod
     def from_checkpoint(cls, path: str | Path, model_name: str = "complex",
                         dataset: TripleStore | None = None,
-                        ) -> "EmbeddingStore":
+                        with_binary: bool = False) -> "EmbeddingStore":
         """Serve the (latest) checkpoint under ``path``.
 
         The manifest does not record the model architecture — the config
@@ -77,6 +81,9 @@ class EmbeddingStore:
         the wrong architecture fails loudly here instead of producing
         garbage scores.  ``dataset`` (the training TripleStore, or any
         store with the same vocabularies) enables known-fact filtering.
+        ``with_binary`` additionally loads the ``binary.npz`` sidecar
+        (written by ``repro export-binary``) and cross-checks it against
+        the embeddings it claims to describe.
         """
         state = ckpt.load_for_serving(path)
         try:
@@ -117,15 +124,25 @@ class EmbeddingStore:
                     f"checkpoint embeds {n_entities}; filter index would "
                     f"mask the wrong columns")
             index = dataset.filter_index
+
+        binary = None
+        if with_binary:
+            binary = load_sidecar(ckpt.resolve_checkpoint_dir(path))
+            check_geometry(binary, model.entity_emb)
         return cls(model=model, filter_index=index, epoch=state.epoch,
                    world_lineage=tuple(state.world_lineage),
-                   checkpoint_path=str(path))
+                   checkpoint_path=str(path), binary=binary)
 
     @classmethod
     def from_model(cls, model: KGEModel,
-                   dataset: TripleStore | None = None) -> "EmbeddingStore":
+                   dataset: TripleStore | None = None,
+                   with_binary: bool = False) -> "EmbeddingStore":
         """Wrap an in-memory model (a private copy; the original stays
-        writeable for continued training)."""
+        writeable for continued training).  ``with_binary`` binarizes the
+        entity matrix in-process — the test/benchmark shortcut that skips
+        the sidecar round-trip."""
+        from .binary import binarize_model
+
         index = None
         if dataset is not None:
             if dataset.n_entities != model.n_entities:
@@ -133,7 +150,8 @@ class EmbeddingStore:
                     f"dataset has {dataset.n_entities} entities but the "
                     f"model embeds {model.n_entities}")
             index = dataset.filter_index
-        return cls(model=model.copy(), filter_index=index)
+        binary = binarize_model(model) if with_binary else None
+        return cls(model=model.copy(), filter_index=index, binary=binary)
 
     # -- introspection -----------------------------------------------------
 
@@ -151,10 +169,12 @@ class EmbeddingStore:
         total = self.model.entity_emb.nbytes + self.model.relation_emb.nbytes
         if self.filter_index is not None:
             total += self.filter_index.nbytes
+        if self.binary is not None:
+            total += self.binary.nbytes
         return total
 
     def summary(self) -> dict:
-        return {
+        out = {
             "model": type(self.model).__name__,
             "entities": self.n_entities,
             "relations": self.n_relations,
@@ -164,3 +184,7 @@ class EmbeddingStore:
             "nbytes": self.nbytes,
             "checkpoint": self.checkpoint_path,
         }
+        if self.binary is not None:
+            out["binary_bytes"] = self.binary.nbytes
+            out["binary_stat"] = self.binary.stat
+        return out

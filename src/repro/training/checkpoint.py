@@ -604,6 +604,23 @@ def load_checkpoint(path: str | Path,
                             for w in manifest.get("world_lineage", [])))
 
 
+def resolve_checkpoint_dir(path: str | Path) -> Path:
+    """The checkpoint directory ``path`` names: itself if it holds a
+    manifest, else the highest-epoch checkpoint under it.
+
+    Shared by the read-only loaders and the sidecar machinery so ``serve``
+    and ``export-binary`` invoked with the same parent directory always
+    agree on which snapshot they mean.
+    """
+    path = Path(path)
+    if (path / MANIFEST_NAME).is_file():
+        return path
+    found = latest_checkpoint(path)
+    if found is None:
+        raise CheckpointError(f"no checkpoint found under {path}")
+    return found
+
+
 def load_for_serving(path: str | Path) -> CheckpointState:
     """Load a checkpoint for read-only consumption (the serving layer).
 
@@ -617,13 +634,115 @@ def load_for_serving(path: str | Path) -> CheckpointState:
     mismatch is fine (serving needs no world reconstruction, so a snapshot
     captured mid-shrink by the elastic supervisor serves as well as any).
     """
-    path = Path(path)
-    if not (path / MANIFEST_NAME).is_file():
-        found = latest_checkpoint(path)
-        if found is None:
-            raise CheckpointError(f"no checkpoint found under {path}")
-        path = found
-    return load_checkpoint(path)
+    return load_checkpoint(resolve_checkpoint_dir(path))
+
+
+# ---------------------------------------------------------------------------
+# Sidecars: derived artifacts living next to a checkpoint
+# ---------------------------------------------------------------------------
+#
+# A sidecar is a pair of files (``<stem>.npz`` + ``<stem>.json``) written
+# into an existing checkpoint directory by a post-training export (the
+# binary embedding tier is the first).  It deliberately does NOT touch
+# ``manifest.json`` — the checkpoint's own files stay byte-identical, so
+# resume equivalence, pruning and golden diffs are unaffected — but it is
+# validated exactly like the schema-v2 arrays: per-array SHA-256 checksums,
+# a format marker, a schema version, and the same loud error taxonomy.
+
+def write_sidecar(ckpt_dir: str | Path, stem: str, fmt: str, version: int,
+                  arrays: dict, meta: dict) -> Path:
+    """Write a checksummed sidecar next to a checkpoint's manifest.
+
+    ``arrays`` land in ``<stem>.npz`` (deterministic bytes, like
+    ``state.npz``); ``meta`` plus the per-array checksum table land in
+    ``<stem>.json``.  Both writes are atomic, npz first, so a readable
+    sidecar manifest always describes a complete npz.  Returns the
+    resolved checkpoint directory.
+    """
+    path = resolve_checkpoint_dir(ckpt_dir)
+    manifest = {
+        "format": fmt,
+        "schema_version": version,
+        "arrays": {
+            name: {
+                "sha256": _sha256_array(arr),
+                "dtype": np.ascontiguousarray(arr).dtype.str,
+                "shape": list(np.shape(arr)),
+            }
+            for name, arr in arrays.items()
+        },
+        "meta": meta,
+    }
+    _atomic_write_bytes(path / f"{stem}.npz", _npz_bytes(arrays))
+    text = json.dumps(manifest, sort_keys=True, indent=2) + "\n"
+    _atomic_write_bytes(path / f"{stem}.json", text.encode())
+    return path
+
+
+def read_sidecar(ckpt_dir: str | Path, stem: str, fmt: str, version: int
+                 ) -> tuple[dict, dict]:
+    """Load and fully validate one sidecar; returns ``(arrays, meta)``.
+
+    The failure taxonomy mirrors :func:`load_checkpoint`: a missing sidecar
+    raises plain :class:`CheckpointError` naming both files, unparseable
+    JSON or npz raises :class:`CheckpointCorruptError`, a foreign format or
+    schema version raises :class:`CheckpointSchemaError`, a declared array
+    absent from the npz raises :class:`CheckpointMissingArrayError`, and a
+    checksum mismatch raises :class:`CheckpointChecksumError` naming the
+    array and the file.
+    """
+    path = resolve_checkpoint_dir(ckpt_dir)
+    manifest_path = path / f"{stem}.json"
+    npz_path = path / f"{stem}.npz"
+    if not manifest_path.is_file():
+        raise CheckpointError(
+            f"checkpoint {path} has no {stem}.json sidecar; run the "
+            f"matching export to create {stem}.npz + {stem}.json")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CheckpointCorruptError(
+            f"{manifest_path} is not valid JSON ({exc}); the sidecar is "
+            f"corrupt or was torn mid-write") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != fmt:
+        raise CheckpointSchemaError(
+            f"{manifest_path} is not a {fmt} sidecar manifest")
+    found_version = manifest.get("schema_version")
+    if found_version != version:
+        raise CheckpointSchemaError(
+            f"sidecar {manifest_path} has schema version {found_version!r}, "
+            f"expected {version}; re-run the export with a matching "
+            f"version of repro")
+    if not npz_path.is_file():
+        raise CheckpointCorruptError(
+            f"sidecar {manifest_path} has a manifest but no {npz_path.name}")
+    try:
+        with np.load(npz_path, allow_pickle=False) as data:
+            arrays = {name: np.array(data[name]) for name in data.files}
+    except Exception as exc:
+        raise CheckpointCorruptError(
+            f"cannot read {npz_path} ({exc}); the sidecar is corrupt or "
+            f"was torn mid-write") from exc
+    declared = manifest.get("arrays", {})
+    missing = sorted(set(declared) - set(arrays))
+    if missing:
+        raise CheckpointMissingArrayError(
+            f"{npz_path} is missing declared array(s) {missing}; the "
+            f"sidecar is incomplete")
+    undeclared = sorted(set(arrays) - set(declared))
+    if undeclared:
+        raise CheckpointCorruptError(
+            f"{npz_path} contains array(s) {undeclared} absent from its "
+            f"manifest; manifest and npz are out of sync")
+    for name, spec in sorted(declared.items()):
+        actual = _sha256_array(arrays[name])
+        if actual != spec.get("sha256"):
+            raise CheckpointChecksumError(
+                f"array {name!r} in {npz_path} fails its SHA-256 check "
+                f"(manifest {str(spec.get('sha256'))[:12]}..., file "
+                f"{actual[:12]}...); the sidecar is corrupt — re-run the "
+                f"export")
+    return arrays, manifest.get("meta", {})
 
 
 # ---------------------------------------------------------------------------

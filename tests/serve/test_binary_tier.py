@@ -1,0 +1,162 @@
+"""Engine-level behavior of the binary memory tier.
+
+The bitwise/recall story lives in ``test_binary_properties.py``; this file
+covers the serving *mechanics* around it: tier selection and validation,
+cache isolation between tiers, the per-tier stage telemetry, and the
+zero-query edge of every derived rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kg.datasets import generate_latent_kg
+from repro.models import ComplEx
+from repro.serve import EmbeddingStore, QueryEngine
+from repro.serve.stats import ServeStats
+
+
+@pytest.fixture(scope="module")
+def served():
+    store = generate_latent_kg(40, 4, 240, seed=11)
+    model = ComplEx(40, 4, 8, seed=12)
+    return EmbeddingStore.from_model(model, dataset=store,
+                                     with_binary=True)
+
+
+class TestTierSelection:
+    def test_unknown_tier_rejected(self, served):
+        with pytest.raises(ValueError, match="unknown tier"):
+            QueryEngine(served, tier="quantum")
+
+    def test_bad_rerank_k_rejected(self, served):
+        with pytest.raises(ValueError, match="rerank_k"):
+            QueryEngine(served, tier="binary", rerank_k=0)
+
+    def test_binary_tier_needs_a_binarized_store(self):
+        store = generate_latent_kg(20, 3, 120, seed=1)
+        model = ComplEx(20, 3, 8, seed=2)
+        dense_only = EmbeddingStore.from_model(model, dataset=store)
+        with pytest.raises(ValueError, match="export-binary"):
+            QueryEngine(dense_only, tier="binary")
+
+    def test_geometry_mismatch_refused_at_construction(self, served):
+        from repro.serve.binary import binarize_model
+        from repro.training.checkpoint import (
+            CheckpointConfigMismatchError, _sha256_array)
+        other = EmbeddingStore.from_model(ComplEx(40, 4, 8, seed=99),
+                                          with_binary=False)
+        # A digest-bearing store exported from *this* module's fixture
+        # model must be refused against a same-shaped foreign snapshot.
+        other.binary = binarize_model(
+            served.model, source_entity_sha=_sha256_array(
+                np.ascontiguousarray(served.model.entity_emb)))
+        with pytest.raises(CheckpointConfigMismatchError,
+                           match="different snapshot"):
+            QueryEngine(other, tier="binary")
+
+
+class TestCacheIsolation:
+    def test_tiers_do_not_share_cache_entries(self, served):
+        """Same store, same query, different tier or pool size: each
+        engine caches under its own tier key, and a repeat hit returns
+        the identical immutable result object."""
+        dense = QueryEngine(served, tier="dense")
+        small = QueryEngine(served, tier="binary", rerank_k=5)
+        cold = small.topk_tails(3, 1, k=4)
+        warm = small.topk_tails(3, 1, k=4)
+        assert warm is cold
+        assert small.stats.cache_hits == 1
+        # The dense engine computes its own answer from scratch.
+        dense.topk_tails(3, 1, k=4)
+        assert dense.stats.cache_hits == 0
+        # The cache keys embed (tier, rerank_k): same tier at a different
+        # pool size is a different key.
+        assert small._tier_key != dense._tier_key
+        assert small._tier_key != \
+            QueryEngine(served, tier="binary", rerank_k=7)._tier_key
+
+
+class TestTierTelemetry:
+    def test_binary_queries_populate_stage_stats(self, served):
+        engine = QueryEngine(served, tier="binary", rerank_k=10,
+                             cache_capacity=0)
+        engine.topk_batch([(1, 0), (2, 0), (3, 1)], k=5, filtered=False)
+        snap = engine.snapshot()
+        tiers = snap["tiers"]
+        entry = tiers["binary"]
+        assert entry["n_queries"] == 3
+        assert entry["candidate_mean_ms"] > 0.0
+        assert entry["rerank_mean_ms"] > 0.0
+        assert entry["candidate_p99_ms"] >= entry["candidate_p50_ms"] > 0.0
+        assert entry["rerank_p99_ms"] >= entry["rerank_p50_ms"] > 0.0
+        assert 0.0 <= entry["mean_agreement"] <= 1.0
+
+    def test_dense_engine_reports_no_tier_window(self, served):
+        engine = QueryEngine(served, tier="dense", cache_capacity=0)
+        engine.topk_tails(1, 0, k=5)
+        assert "tiers" not in engine.snapshot()
+
+    def test_full_pool_agreement_is_perfect(self, served):
+        """With every entity in the pool the candidate stage's ranking is
+        re-ranked by exact scores, but the final top-k is still a subset
+        of the pool — agreement is defined and finite, and the recall
+        proxy for the *exact* reconstruction ordering stays within
+        [0, 1]."""
+        engine = QueryEngine(served, tier="binary",
+                             rerank_k=served.n_entities, cache_capacity=0)
+        engine.topk_tails(1, 0, k=5, filtered=False)
+        entry = engine.snapshot()["tiers"]["binary"]
+        assert 0.0 <= entry["mean_agreement"] <= 1.0
+
+
+class TestZeroQueryStats:
+    def test_all_rates_are_zero_not_nan(self):
+        """A freshly constructed stats object must snapshot cleanly:
+        every derived rate is exactly 0.0 (not NaN, not a crash) and the
+        tier table is absent, so an idle engine's telemetry serializes."""
+        snap = ServeStats().snapshot()
+        assert snap["n_queries"] == 0
+        assert snap["mean_ms"] == 0.0
+        assert snap["p50_ms"] == 0.0
+        assert snap["p99_ms"] == 0.0
+        assert snap["queries_per_sec"] == 0.0
+        assert snap["cache_hit_rate"] == 0.0
+        assert snap["busy_seconds"] == 0.0
+        assert snap["topk_p50_ms"] == 0.0
+        assert snap["topk_p99_ms"] == 0.0
+        assert "by_kind_latency" not in snap
+        assert "tiers" not in snap
+
+    def test_per_kind_latency_appears_only_for_recorded_kinds(self):
+        """One recorded kind yields exactly one per-kind window; the
+        link-prediction rollup covers topk_* kinds only."""
+        stats = ServeStats()
+        stats.record("nearest", 0.004, cache_hit=False)
+        snap = stats.snapshot()
+        assert set(snap["by_kind_latency"]) == {"nearest"}
+        assert snap["by_kind_latency"]["nearest"]["p99_ms"] > 0.0
+        # 'nearest' latency must not leak into the link-prediction rollup.
+        assert snap["topk_p99_ms"] == 0.0
+        stats.record("topk_tails", 0.002, cache_hit=False)
+        snap = stats.snapshot()
+        assert snap["topk_p99_ms"] == pytest.approx(2.0)
+
+    def test_idle_engine_snapshot_is_zero(self):
+        store = generate_latent_kg(15, 2, 60, seed=3)
+        model = ComplEx(15, 2, 4, seed=4)
+        engine = QueryEngine(EmbeddingStore.from_model(model, dataset=store,
+                                                       with_binary=True),
+                             tier="binary", rerank_k=4)
+        snap = engine.snapshot()
+        assert snap["p99_ms"] == 0.0 and snap["n_queries"] == 0
+
+    def test_tier_window_with_zero_seconds_is_finite(self):
+        """Degenerate but legal: stage times of exactly zero must not
+        divide by zero anywhere downstream."""
+        stats = ServeStats()
+        stats.record_tier("binary", 0.0, 0.0, 1.0)
+        entry = stats.snapshot()["tiers"]["binary"]
+        assert entry["candidate_mean_ms"] == 0.0
+        assert entry["rerank_mean_ms"] == 0.0
+        assert entry["mean_agreement"] == 1.0
+        assert entry["n_queries"] == 1
