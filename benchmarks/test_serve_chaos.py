@@ -1,0 +1,157 @@
+"""Serving chaos benchmark — the resilience layer under injected faults.
+
+Not a paper figure: this measures the reproduction's own failure story.
+The same mid-size store is served twice:
+
+* **fault-free** — identical traffic, no fault plan: the SLO ladder must
+  be invisible (zero sheds, zero state transitions, every query dense);
+* **chaos** — an 8x overload burst plus random scorer failures: the
+  ladder must
+  degrade (binary / cache-only / shed with typed reasons), the trajectory
+  must be a pure function of ``(seed, plan)`` (two runs produce
+  byte-identical transition logs), and after the burst drains the engine
+  must recover to the dense state with windowed virtual p99 back under
+  the SLO deadline.
+
+Results land in ``BENCH_serve_chaos.json`` (path overridable via
+``REPRO_BENCH_SERVE_CHAOS_JSON``) so CI can archive and gate them.
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.kg.triples import TripleSet, TripleStore
+from repro.models import ComplEx
+from repro.serve import (EmbeddingStore, QueryEngine, ServeFaultPlan,
+                         SLOConfig, TrafficSpec, ZipfianTraffic, replay)
+
+from conftest import run_once_benchmarked
+
+N_ENTITIES = 4_000
+N_RELATIONS = 60
+N_QUERIES = 4_000
+CACHE_CAPACITY = 1_024
+STATS_WINDOW = 512
+TRAFFIC_SEED = 7
+
+CHAOS_PLAN = "burst=400:1200:8,fail=0.01,seed=5"
+BURST_STOP = 1_600                     # start + length of the burst above
+#: Arrivals after the burst drains within which the ladder must have
+#: logged its final recovery transition back to dense.
+RECOVERY_BOUND = 400
+
+
+def _random_store(rng):
+    def split(n):
+        return TripleSet(heads=rng.integers(0, N_ENTITIES, n),
+                         relations=rng.integers(0, N_RELATIONS, n),
+                         tails=rng.integers(0, N_ENTITIES, n))
+    return TripleStore(n_entities=N_ENTITIES, n_relations=N_RELATIONS,
+                       train=split(20_000), valid=split(1_000),
+                       test=split(1_000), name="serve-chaos")
+
+
+def _run(store, model, plan):
+    engine = QueryEngine(EmbeddingStore.from_model(model, dataset=store,
+                                                   with_binary=True),
+                         cache_capacity=CACHE_CAPACITY, faults=plan,
+                         slo=SLOConfig(), stats_window=STATS_WINDOW)
+    traffic = ZipfianTraffic(N_ENTITIES, N_RELATIONS,
+                             spec=TrafficSpec(entity_exponent=1.1),
+                             seed=TRAFFIC_SEED, bursts=plan.bursts)
+    snapshot = replay(engine, traffic, N_QUERIES, batch_size=64, topk=10)
+    return engine, snapshot
+
+
+def test_serve_chaos(benchmark):
+    rng = np.random.default_rng(7)
+    store = _random_store(rng)
+    model = ComplEx(N_ENTITIES, N_RELATIONS, dim=16, seed=7)
+
+    null_plan = ServeFaultPlan.parse("")
+    chaos_plan = ServeFaultPlan.parse(CHAOS_PLAN)
+
+    def experiment():
+        clean_engine, clean = _run(store, model, null_plan)
+        chaos_engine, chaos = _run(store, model, chaos_plan)
+        _, chaos_again = _run(store, model, chaos_plan)
+        return clean_engine, clean, chaos_engine, chaos, chaos_again
+
+    clean_engine, clean, chaos_engine, chaos, chaos_again = \
+        run_once_benchmarked(benchmark, experiment)
+
+    deadline = chaos_engine.slo.deadline_ms
+
+    # Gate 1 — fault-free traffic never touches the ladder.
+    clean_res = clean["resilience"]
+    assert clean_res["shed_total"] == 0, clean_res["shed"]
+    assert clean_res["n_transitions"] == 0, clean_res["transitions"]
+    assert set(clean_res["by_state"]) == {"dense"}
+    assert clean["errors"] == 0
+    assert clean_res["virtual_p99_ms"] <= deadline
+
+    # Gate 2 — chaos actually degrades, with typed sheds.
+    chaos_res = chaos["resilience"]
+    assert chaos_res["shed_total"] > 0
+    visited = {t["to"] for t in chaos_res["transitions"]}
+    assert "binary" in visited and "cache_only" in visited, visited
+    assert set(chaos_res["shed"]) <= {"overload", "cache_only_miss",
+                                      "scorer_failure"}
+    assert chaos["errors"] == 0        # sheds are answers, not exceptions
+
+    # Gate 3 — the trajectory is a pure function of (seed, plan).
+    assert json.dumps(chaos_res["transitions"]) == \
+        json.dumps(chaos_again["resilience"]["transitions"])
+    assert chaos_res["by_state"] == chaos_again["resilience"]["by_state"]
+    assert chaos_res["shed"] == chaos_again["resilience"]["shed"]
+
+    # Gate 4 — recovery: back to dense within the bound, windowed
+    # virtual p99 back under the SLO deadline.
+    transitions = chaos_res["transitions"]
+    assert transitions[-1]["to"] == "dense"
+    assert transitions[-1]["index"] <= BURST_STOP + RECOVERY_BOUND, \
+        transitions[-1]
+    assert chaos_engine.resilience.state == "dense"
+    # stats_window=512 on 4000 queries: the percentile surface covers
+    # only post-burst, post-recovery traffic.
+    assert chaos_res["virtual_p99_ms"] <= deadline, \
+        chaos_res["virtual_p99_ms"]
+
+    out_path = os.environ.get("REPRO_BENCH_SERVE_CHAOS_JSON",
+                              "BENCH_serve_chaos.json")
+    report = {
+        "n_entities": N_ENTITIES,
+        "n_relations": N_RELATIONS,
+        "n_queries": N_QUERIES,
+        "traffic_seed": TRAFFIC_SEED,
+        "stats_window": STATS_WINDOW,
+        "slo_deadline_ms": deadline,
+        "chaos_plan": CHAOS_PLAN,
+        "recovery_bound": RECOVERY_BOUND,
+        "clean": {
+            "shed_total": clean_res["shed_total"],
+            "n_transitions": clean_res["n_transitions"],
+            "by_state": clean_res["by_state"],
+            "virtual_p99_ms": clean_res["virtual_p99_ms"],
+            "cache_hit_rate": clean["cache_hit_rate"],
+        },
+        "chaos": {
+            "shed": chaos_res["shed"],
+            "shed_total": chaos_res["shed_total"],
+            "shed_rate": chaos_res["shed_rate"],
+            "by_state": chaos_res["by_state"],
+            "n_transitions": chaos_res["n_transitions"],
+            "states_visited": sorted(visited),
+            "first_transition": transitions[0],
+            "last_transition": transitions[-1],
+            "breaker_trips": chaos_res["breaker_trips"],
+            "virtual_p99_ms": chaos_res["virtual_p99_ms"],
+            "deterministic": True,
+            "final_state": chaos_engine.resilience.state,
+        },
+    }
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -41,8 +41,8 @@ from repro.bench.harness import print_serve_table
 from repro.kg import generate_latent_kg
 from repro.kg.datasets import make_tiny_kg
 from repro.kg.triples import TripleSet, TripleStore
-from repro.serve import EmbeddingStore, QueryEngine, TrafficSpec, \
-    ZipfianTraffic, export_binary, replay
+from repro.serve import EmbeddingStore, QueryEngine, ServeFaultPlan, \
+    TrafficSpec, ZipfianTraffic, export_binary, replay
 from repro.training.strategy import baseline_allreduce
 
 #: FB15K's published entity count; relations trimmed like the eval
@@ -203,6 +203,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-capacity", type=int, default=4096)
     parser.add_argument("--zipf", type=float, default=1.0,
                         help="entity skew exponent (default: 1.0)")
+    parser.add_argument("--serve-faults", default=None, metavar="SPEC",
+                        help="chaos spec for the replay, e.g. "
+                             "'burst=400:1200:8,fail=0.01,seed=5' — turns "
+                             "on the SLO ladder and reports the "
+                             "degradation trajectory")
+    parser.add_argument("--stats-window", type=int, default=None,
+                        metavar="N",
+                        help="bound latency percentiles to the last N "
+                             "queries (default: unbounded)")
     parser.add_argument("--seed", type=int, default=20220829)
     parser.add_argument("--ckpt-dir", default="serve-ckpt", metavar="DIR")
     parser.add_argument("--out", default=None, metavar="PATH",
@@ -218,6 +227,12 @@ def main(argv: list[str] | None = None) -> int:
     n_queries = args.queries if args.queries is not None else profile["queries"]
     if args.epochs is None:
         args.epochs = profile.get("epochs", 2)
+
+    try:
+        serve_faults = (ServeFaultPlan.parse(args.serve_faults)
+                        if args.serve_faults is not None else None)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     store = build_store(profile, args.seed)
     print(f"dataset : {store.summary()}")
@@ -237,19 +252,29 @@ def main(argv: list[str] | None = None) -> int:
     served = EmbeddingStore.from_checkpoint(args.ckpt_dir,
                                             model_name="complex",
                                             dataset=store)
-    engine = QueryEngine(served, cache_capacity=args.cache_capacity)
+    engine = QueryEngine(served, cache_capacity=args.cache_capacity,
+                         faults=serve_faults,
+                         stats_window=args.stats_window)
     traffic = ZipfianTraffic(store.n_entities, store.n_relations,
                              spec=TrafficSpec(entity_exponent=args.zipf),
-                             seed=args.seed)
+                             seed=args.seed,
+                             bursts=serve_faults.bursts if serve_faults
+                             else ())
     snapshot = replay(engine, traffic, n_queries,
                       batch_size=args.batch_size, topk=args.topk)
     print_serve_table(f"serve traffic ({n_queries} Zipfian queries, "
                       f"{args.profile} profile)", [snapshot])
+    if serve_faults is not None:
+        res = snapshot["resilience"]
+        print(f"ladder  : plan [{serve_faults.describe()}] "
+              f"state={engine.resilience.state} by_state={res['by_state']} "
+              f"shed={res['shed']} transitions={res['n_transitions']}")
 
     snapshot.update(profile=args.profile, epochs=args.epochs,
                     n_entities=store.n_entities,
                     n_relations=store.n_relations,
-                    checkpoint_epoch=served.epoch, zipf=args.zipf)
+                    checkpoint_epoch=served.epoch, zipf=args.zipf,
+                    serve_faults=args.serve_faults)
     Path(args.out).write_text(json.dumps(snapshot, indent=2, sort_keys=True)
                               + "\n")
     print(f"report  : {args.out}")
@@ -260,6 +285,11 @@ def main(argv: list[str] | None = None) -> int:
     if not snapshot["cache_hit_rate"] > 0:
         bad.append(f"cache_hit_rate={snapshot['cache_hit_rate']} "
                    f"(expected > 0)")
+    if serve_faults is not None and serve_faults.is_null:
+        shed = snapshot["resilience"]["shed_total"]
+        if shed:
+            bad.append(f"shed_total={shed} under a null fault plan "
+                       f"(expected 0)")
     if bad:
         print("FAIL: " + "; ".join(bad), file=sys.stderr)
         return 1

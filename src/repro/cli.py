@@ -53,6 +53,15 @@ candidate generation + full-precision re-rank of the best 512)::
     python -m repro serve --checkpoint ckpts --tier binary --rerank-k 512 \
         --query 12,3
 
+Chaos-test the serving layer — an overload burst plus latency spikes
+under the SLO degradation ladder — and hot-reload a fresher checkpoint
+halfway through the replay without dropping the engine::
+
+    python -m repro serve --checkpoint ckpts --simulate 100000 \
+        --serve-faults "burst=20000:30000:8,spike=0.02,spike_ms=25"
+    python -m repro serve --checkpoint ckpts --simulate 100000 \
+        --reload ckpts
+
 Exit codes: 0 success, 2 bad checkpoint resume/serve/export or bad query,
 3 training killed by an unrecovered collective fault or rank loss.
 """
@@ -238,6 +247,29 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         help="micro-batch window of the traffic replay "
                              "(default: 64)")
     parser.add_argument("--traffic-seed", type=int, default=0)
+    parser.add_argument("--serve-faults", metavar="SPEC",
+                        help="serve-side chaos scenario, e.g. 'spike=0.05,"
+                             "spike_ms=25,fail=0.01,burst=1000:2000:8,"
+                             "sidecar_corrupt=500' (see repro.serve."
+                             "resilience.ServeFaultPlan.parse); enables "
+                             "the SLO degradation ladder")
+    parser.add_argument("--resilience", action="store_true",
+                        help="enable the SLO admission controller and "
+                             "degradation ladder even without --serve-faults")
+    parser.add_argument("--slo-deadline-ms", type=float, default=10.0,
+                        metavar="MS",
+                        help="virtual p99 deadline driving the degradation "
+                             "ladder's backlog thresholds (default: 10)")
+    parser.add_argument("--stats-window", type=int, default=None, metavar="N",
+                        help="bound latency telemetry to the most recent N "
+                             "observations per window (exact percentiles "
+                             "within the window); --simulate defaults to "
+                             "8192, direct queries to unbounded")
+    parser.add_argument("--reload", metavar="DIR",
+                        help="with --simulate: hot-reload this checkpoint "
+                             "halfway through the replay (the kill-and-keep-"
+                             "serving demo); a failed reload keeps serving "
+                             "the old snapshot")
     parser.add_argument("--json", action="store_true",
                         help="emit query answers and telemetry as JSON")
     return parser
@@ -299,8 +331,8 @@ def _parse_id_pair(text: str, what: str) -> tuple[int, int]:
 
 def serve_main(argv: list[str]) -> int:
     from .bench.harness import print_serve_table
-    from .serve import EmbeddingStore, QueryEngine, TrafficSpec, \
-        ZipfianTraffic, replay
+    from .serve import EmbeddingStore, QueryEngine, ServeFaultPlan, \
+        SLOConfig, TrafficSpec, ZipfianTraffic, replay
     from .training.checkpoint import CheckpointError
 
     args = build_serve_parser().parse_args(argv)
@@ -313,12 +345,28 @@ def serve_main(argv: list[str]) -> int:
             dataset = DATASETS[args.dataset](scale=args.scale,
                                              seed=args.seed)
     try:
+        serve_faults = (ServeFaultPlan.parse(args.serve_faults)
+                        if args.serve_faults else None)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    resilience = args.resilience or serve_faults is not None
+    slo = SLOConfig(deadline_ms=args.slo_deadline_ms) if resilience else None
+    # A long replay should not grow telemetry without bound; direct query
+    # mode keeps every observation.
+    stats_window = args.stats_window
+    if stats_window is None and args.simulate > 0:
+        stats_window = 8192
+    try:
         store = EmbeddingStore.from_checkpoint(
             args.checkpoint, model_name=args.model, dataset=dataset,
             with_binary=args.tier == "binary")
         engine = QueryEngine(store, cache_capacity=args.cache_capacity,
                              chunk_entities=args.chunk_entities,
-                             tier=args.tier, rerank_k=args.rerank_k)
+                             tier=args.tier, rerank_k=args.rerank_k,
+                             faults=serve_faults, slo=slo,
+                             resilience=resilience or None,
+                             stats_window=stats_window)
     except (CheckpointError, ValueError) as exc:
         print(f"error: cannot serve {args.checkpoint}: {exc}",
               file=sys.stderr)
@@ -326,6 +374,8 @@ def serve_main(argv: list[str]) -> int:
     out: dict = {"store": store.summary(), "answers": []}
     if not args.json:
         print(f"serving : {store.summary()}")
+        if serve_faults is not None:
+            print(f"faults  : {serve_faults.describe()}")
 
     try:
         queries = ([("tails", *_parse_id_pair(q, "--query"))
@@ -343,6 +393,15 @@ def serve_main(argv: list[str]) -> int:
             else:
                 res = engine.nearest_entities(a, k=args.topk)
                 label = f"{args.topk} nearest neighbors of entity {a}"
+            if not hasattr(res, "entities"):
+                # Resilience shed the query (typed ShedResponse).
+                answer = {"query": label, "shed": res.reason,
+                          "state": res.state}
+                out["answers"].append(answer)
+                if not args.json:
+                    print(f"\n{label}: shed ({res.reason}, "
+                          f"state={res.state})")
+                continue
             answer = {"query": label,
                       "entities": [int(e) for e in res.entities],
                       "scores": [float(s) for s in res.scores]}
@@ -357,16 +416,45 @@ def serve_main(argv: list[str]) -> int:
         return 2
 
     if args.simulate > 0:
-        traffic = ZipfianTraffic(store.n_entities, store.n_relations,
-                                 spec=TrafficSpec(entity_exponent=args.zipf),
-                                 seed=args.traffic_seed)
-        snapshot = replay(engine, traffic, args.simulate,
-                          batch_size=args.batch_size, topk=args.topk)
+        traffic = ZipfianTraffic(
+            store.n_entities, store.n_relations,
+            spec=TrafficSpec(entity_exponent=args.zipf),
+            seed=args.traffic_seed,
+            bursts=serve_faults.bursts if serve_faults else ())
+        if args.reload:
+            # Kill-and-keep-serving demo: replay half the traffic, swap
+            # the checkpoint under live load, replay the rest.  A failed
+            # reload is reported but never stops serving.
+            first_half = args.simulate // 2
+            replay(engine, traffic, first_half,
+                   batch_size=args.batch_size, topk=args.topk)
+            try:
+                reload_info = engine.reload(args.reload, dataset=dataset)
+            except (CheckpointError, ValueError) as exc:
+                reload_info = {"swapped": False, "error": str(exc)}
+            out["reload"] = reload_info
+            if not args.json:
+                print(f"reload  : {reload_info}")
+            snapshot = replay(engine, traffic, args.simulate - first_half,
+                              batch_size=args.batch_size, topk=args.topk)
+        else:
+            snapshot = replay(engine, traffic, args.simulate,
+                              batch_size=args.batch_size, topk=args.topk)
         out["telemetry"] = snapshot
         if not args.json:
             print_serve_table(
                 f"serve traffic ({args.simulate} Zipfian queries)",
                 [snapshot])
+            res = snapshot.get("resilience")
+            if res is not None:
+                print(f"ladder  : state={engine.resilience.state} "
+                      f"by_state={res['by_state']} shed={res['shed']} "
+                      f"transitions={res['n_transitions']} "
+                      f"breaker_trips={res['breaker_trips']} "
+                      f"reloads={res['reloads']}")
+            if snapshot.get("errors"):
+                print(f"errors  : {snapshot['errors']} "
+                      f"(first: {snapshot['first_error']})")
     if args.json:
         json.dump(out, sys.stdout, indent=2)
         print()

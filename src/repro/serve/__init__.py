@@ -10,23 +10,39 @@ evaluator uses, an exact :class:`LRUCache` absorbs skewed traffic, and
 workload for benchmarks.  :class:`BinaryStore` (see
 :mod:`repro.serve.binary`) adds the 1-bit memory tier: Hamming-space
 candidate generation re-ranked by the full-precision scorers
-(``QueryEngine(tier="binary")``).  See ``docs/serving.md``.
+(``QueryEngine(tier="binary")``).  :mod:`repro.serve.resilience` adds the
+failure story: a seeded :class:`ServeFaultPlan` chaos injector
+(``--serve-faults``), an SLO-aware degradation ladder
+(:class:`ResilienceController`, dense -> binary -> cache-only -> shed,
+typed :class:`ShedResponse` answers) and hot checkpoint reload
+(``QueryEngine.reload``).  See ``docs/serving.md``.
 """
 
 from .binary import (BinaryStore, binarize_model, export_binary,
                      load_sidecar, save_sidecar)
 from .cache import LRUCache
 from .engine import QueryEngine, TopKResult
+from .resilience import (SERVE_STATES, SHED_REASONS, ResilienceController,
+                         ServeFaultPlan, ShedResponse,
+                         SidecarCorruptionError, SLOConfig)
 from .stats import ServeStats
 from .store import EmbeddingStore
-from .traffic import TrafficSpec, ZipfianTraffic, replay
+from .traffic import BurstSpec, TrafficSpec, ZipfianTraffic, replay
 
 __all__ = [
+    "SERVE_STATES",
+    "SHED_REASONS",
     "BinaryStore",
+    "BurstSpec",
     "EmbeddingStore",
     "LRUCache",
     "QueryEngine",
+    "ResilienceController",
+    "SLOConfig",
+    "ServeFaultPlan",
     "ServeStats",
+    "ShedResponse",
+    "SidecarCorruptionError",
     "TopKResult",
     "TrafficSpec",
     "ZipfianTraffic",

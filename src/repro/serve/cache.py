@@ -35,6 +35,7 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -67,6 +68,16 @@ class LRUCache:
     def clear(self) -> None:
         """Drop every entry; counters are kept (they are run telemetry)."""
         self._entries.clear()
+
+    def invalidate(self) -> int:
+        """Drop every entry because the backing data changed (a store
+        swap): same effect as :meth:`clear`, but counted separately so
+        telemetry can distinguish reload invalidation from housekeeping.
+        Returns the number of entries dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.invalidations += 1
+        return dropped
 
     @property
     def hit_rate(self) -> float:

@@ -49,6 +49,23 @@ Two serving mechanisms sit on top of raw scoring:
   into **one** chunked scoring call, deduplicating repeated anchors, so a
   burst of queries against a hot relation costs one matrix pass.
 
+Two resilience mechanisms sit on top of those (both opt-in; a plain
+engine behaves exactly as before):
+
+* an SLO-aware **degradation ladder**
+  (:class:`~repro.serve.resilience.ResilienceController`): every query is
+  admitted through a deterministic virtual-queue model whose backlog
+  walks the engine dense -> binary -> cache-only -> shed and back, with a
+  circuit breaker that trips the binary rung to dense when the 1-bit
+  sidecar fails its checksum at query time.  Shed queries return a typed
+  :class:`~repro.serve.resilience.ShedResponse` instead of a result.
+* **hot reload** (:meth:`QueryEngine.reload`): atomically swap in a new
+  checkpoint — the replacement store (embeddings + binary sidecar +
+  filter index) is fully built and validated *before* a single install
+  step replaces the old one, the result cache is invalidated, and the
+  breaker re-arms; any validation failure rolls back to the old store,
+  which never stopped serving.
+
 Determinism contract: top-k ordering is *descending score, ascending
 entity id* (stable sort), the scores returned are the bytes the scoring
 blocks produced, and a cache hit returns the identical immutable result
@@ -63,8 +80,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..eval.ranking import scatter_known_nan
+from ..training import checkpoint as ckpt
 from .binary import check_geometry
 from .cache import LRUCache
+from .resilience import (ResilienceController, ServeFaultPlan, ShedResponse,
+                         SidecarCorruptionError, SLOConfig)
 from .stats import ServeStats
 from .store import EmbeddingStore
 
@@ -123,7 +143,11 @@ class QueryEngine:
 
     def __init__(self, store: EmbeddingStore, cache_capacity: int = 4096,
                  chunk_entities: int | None = None, tier: str = "dense",
-                 rerank_k: int = 1024):
+                 rerank_k: int = 1024,
+                 faults: ServeFaultPlan | None = None,
+                 slo: SLOConfig | None = None,
+                 resilience: bool | None = None,
+                 stats_window: int | None = None):
         if tier not in TIERS:
             raise ValueError(f"unknown tier {tier!r}; one of {TIERS}")
         if rerank_k < 1:
@@ -138,7 +162,7 @@ class QueryEngine:
             check_geometry(store.binary, store.model.entity_emb)
         self.store = store
         self.cache = LRUCache(cache_capacity)
-        self.stats = ServeStats()
+        self.stats = ServeStats(window=stats_window)
         self.chunk_entities = chunk_entities
         self.tier = tier
         self.rerank_k = int(rerank_k)
@@ -147,6 +171,14 @@ class QueryEngine:
         # and at which pool size — produced it.
         self._tier_key = ("dense" if tier == "dense"
                           else ("binary", self.rerank_k))
+        # Resilience is opt-in: a fault plan or SLO implies it, or pass
+        # resilience=True for ladder-only (null-plan) admission control.
+        enabled = resilience if resilience is not None \
+            else (faults is not None or slo is not None)
+        self.slo = (slo or SLOConfig()) if enabled else None
+        self.resilience = ResilienceController(
+            self.slo, faults, binary_available=store.binary is not None,
+            stats=self.stats) if enabled else None
 
     # -- filtering ---------------------------------------------------------
 
@@ -163,13 +195,31 @@ class QueryEngine:
     # -- score -------------------------------------------------------------
 
     def score(self, h, r, t):
-        """Model score(s) of explicit triples; scalar in, scalar out."""
+        """Model score(s) of explicit triples; scalar in, scalar out.
+
+        Under resilience, a batch of triples is one admission (one
+        arrival on the virtual clock), and a degraded ladder answers a
+        :class:`ShedResponse` — ``score`` has no cache, so every state
+        past ``binary`` sheds it.
+        """
         start = time.perf_counter()
+        admission = None
+        if self.resilience is not None:
+            admission = self.resilience.admit("score")
+            if admission.state in ("cache_only", "shed"):
+                reason = ("overload" if admission.state == "shed"
+                          else "cache_only_miss")
+                return self._shed("score", reason, admission, start)
+            if admission.scorer_fail:
+                return self._shed("score", "scorer_failure", admission,
+                                  start)
         scalar = np.isscalar(h) or getattr(h, "ndim", 0) == 0
         scores = self.store.model.score(np.atleast_1d(h), np.atleast_1d(r),
                                         np.atleast_1d(t))
         self.stats.record("score", time.perf_counter() - start,
                           cache_hit=None)
+        if admission is not None:
+            self._complete(admission, self.slo.score_ms)
         return float(scores[0]) if scalar else scores
 
     # -- top-k link prediction ---------------------------------------------
@@ -201,12 +251,17 @@ class QueryEngine:
         Latency accounting: a coalesced group's scoring time is split
         evenly across the queries it answered, so percentiles reflect
         per-query service cost, not burst size.
+
+        Under resilience the misses group per ``(relation, direction,
+        route)`` — the ladder may send some queries of a batch through
+        the binary tier and shed others — and each query's answer can be
+        a :class:`ShedResponse` instead of a :class:`TopKResult`.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         filt = self._resolve_filtered(filtered)
-        results: list[TopKResult | None] = [None] * len(queries)
-        groups: dict[tuple[int, bool], list[tuple[int, int]]] = {}
+        results: list = [None] * len(queries)
+        groups: dict[tuple[int, bool, str], list] = {}
 
         for i, query in enumerate(queries):
             if tail_side is None:
@@ -217,41 +272,79 @@ class QueryEngine:
             anchor, rel, side = int(anchor), int(rel), bool(side)
             self._check_ids(anchor, rel)
             start = time.perf_counter()
-            key = (self._tier_key, "tails" if side else "heads",
+            kind = "topk_tails" if side else "topk_heads"
+            admission = None
+            if self.resilience is not None:
+                admission = self.resilience.admit(kind)
+                if admission.state == "shed":
+                    results[i] = self._shed(kind, "overload", admission,
+                                            start)
+                    continue
+            route = self._route(admission.state if admission else None)
+            key = (self._key_for(route), "tails" if side else "heads",
                    anchor, rel, k, filt)
             hit = self.cache.get(key)
-            kind = "topk_tails" if side else "topk_heads"
             if hit is not None:
                 results[i] = hit
                 self.stats.record(kind, time.perf_counter() - start,
                                   cache_hit=True)
+                if admission is not None:
+                    self._complete(admission, self.slo.cache_ms)
+            elif admission is not None and admission.state == "cache_only":
+                results[i] = self._shed(kind, "cache_only_miss", admission,
+                                        start)
+            elif admission is not None and admission.scorer_fail:
+                results[i] = self._shed(kind, "scorer_failure", admission,
+                                        start)
             else:
-                groups.setdefault((rel, side), []).append((i, anchor))
+                if admission is not None:
+                    # Virtual cost is charged at admission (the route and
+                    # its modeled cost are known now), keeping the queue
+                    # strictly arrival-ordered: grouped scoring must not
+                    # smear a window's service to the window boundary.
+                    self._complete(admission, self.slo.service_ms(route))
+                groups.setdefault((rel, side, route), []).append((i, anchor))
 
-        for (rel, side), members in groups.items():
+        for (rel, side, route), members in groups.items():
             start = time.perf_counter()
             anchors = np.array([a for _, a in members], dtype=np.int64)
             unique, inverse = np.unique(anchors, return_inverse=True)
-            scored = self._group_topk(unique, rel, side, k, filt)
+            scored, served_route = self._group_topk(route, unique, rel,
+                                                    side, k, filt)
             elapsed = time.perf_counter() - start
             share = elapsed / len(members)
             kind = "topk_tails" if side else "topk_heads"
             for (i, anchor), u in zip(members, inverse):
                 result = scored[u]
                 results[i] = result
-                key = (self._tier_key, "tails" if side else "heads",
-                       anchor, rel, k, filt)
+                key = (self._key_for(served_route),
+                       "tails" if side else "heads", anchor, rel, k, filt)
                 self.cache.put(key, result)
                 self.stats.record(kind, share, cache_hit=False)
         return results
 
-    def _group_topk(self, anchors: np.ndarray, rel: int, tail_side: bool,
-                    k: int, filtered: bool) -> list[TopKResult]:
-        """Score one group of unique anchors through the engine's tier."""
-        if self.tier == "binary":
-            return self._group_topk_binary(anchors, rel, tail_side, k,
-                                           filtered)
-        return self._group_topk_dense(anchors, rel, tail_side, k, filtered)
+    def _group_topk(self, route: str, anchors: np.ndarray, rel: int,
+                    tail_side: bool, k: int,
+                    filtered: bool) -> tuple[list[TopKResult], str]:
+        """Score one group of unique anchors through ``route``.
+
+        Returns ``(results, served_route)`` — the route actually used:
+        a binary group falls back to dense (and trips the circuit
+        breaker) when the sidecar fails its checksum mid-query.
+        """
+        if route == "binary":
+            try:
+                if self.resilience is not None:
+                    self.resilience.check_sidecar()
+                return (self._group_topk_binary(anchors, rel, tail_side, k,
+                                                filtered), "binary")
+            except (SidecarCorruptionError,
+                    ckpt.CheckpointChecksumError) as exc:
+                if self.resilience is None:
+                    raise
+                self.resilience.trip_binary(str(exc))
+        return (self._group_topk_dense(anchors, rel, tail_side, k,
+                                       filtered), "dense")
 
     def _group_topk_dense(self, anchors: np.ndarray, rel: int,
                           tail_side: bool, k: int,
@@ -325,7 +418,7 @@ class QueryEngine:
         cand_share = candidate_s / m
         rerank_share = rerank_s / m
         for i, result in enumerate(results):
-            self.stats.record_tier(self.tier, cand_share, rerank_share,
+            self.stats.record_tier("binary", cand_share, rerank_share,
                                    _agreement(result.entities, order[i]))
         return results
 
@@ -370,12 +463,24 @@ class QueryEngine:
             raise ValueError(f"entity id {e} outside "
                              f"[0, {self.store.n_entities})")
         start = time.perf_counter()
+        admission = None
+        if self.resilience is not None:
+            admission = self.resilience.admit("nearest")
+            if admission.state == "shed":
+                return self._shed("nearest", "overload", admission, start)
         key = ("nearest", e, metric, k, exclude_self)
         hit = self.cache.get(key)
         if hit is not None:
             self.stats.record("nearest", time.perf_counter() - start,
                               cache_hit=True)
+            if admission is not None:
+                self._complete(admission, self.slo.cache_ms)
             return hit
+        if admission is not None and admission.state == "cache_only":
+            return self._shed("nearest", "cache_only_miss", admission,
+                              start)
+        if admission is not None and admission.scorer_fail:
+            return self._shed("nearest", "scorer_failure", admission, start)
 
         re, im = self.store.model.entity_components()
         if metric == "l2":
@@ -408,7 +513,117 @@ class QueryEngine:
         self.cache.put(key, result)
         self.stats.record("nearest", time.perf_counter() - start,
                           cache_hit=False)
+        if admission is not None:
+            self._complete(admission, self.slo.nearest_ms)
         return result
+
+    # -- resilience ----------------------------------------------------------
+
+    def _route(self, state: str | None) -> str:
+        """The scoring route for one admitted query.
+
+        Ladder state ``binary`` forces the 1-bit route; otherwise the
+        engine's configured tier applies — downgraded to dense when the
+        circuit breaker removed the binary rung (or the store simply has
+        no sidecar).
+        """
+        binary_ok = self.store.binary is not None and (
+            self.resilience is None or self.resilience.binary_available)
+        if state == "binary" and binary_ok:
+            return "binary"
+        if self.tier == "binary" and binary_ok:
+            return "binary"
+        return "dense"
+
+    def _key_for(self, route: str):
+        return "dense" if route == "dense" else ("binary", self.rerank_k)
+
+    def _shed(self, kind: str, reason: str, admission, start: float):
+        """Refuse one query: typed response, taxonomy counted, virtual
+        shed cost charged (shedding is cheap, not free)."""
+        response = ShedResponse(kind=kind, reason=reason,
+                                state=admission.state,
+                                query_index=admission.index)
+        self.stats.record(kind, time.perf_counter() - start, cache_hit=None)
+        virtual = self.resilience.complete(admission, self.slo.shed_ms)
+        self.stats.record_resilience(admission.state, virtual,
+                                     shed_reason=reason)
+        return response
+
+    def _complete(self, admission, service_ms: float) -> None:
+        """Charge one served query's virtual cost (plus any injected
+        latency spike) and record its ladder-side telemetry."""
+        virtual = self.resilience.complete(
+            admission, service_ms + admission.spike_ms)
+        self.stats.record_resilience(admission.state, virtual)
+
+    # -- hot reload ----------------------------------------------------------
+
+    def reload(self, checkpoint, model_name: str | None = None,
+               dataset=None, with_binary: bool | None = None) -> dict:
+        """Atomically swap the served snapshot for ``checkpoint``.
+
+        ``checkpoint`` is a checkpoint path (resolved exactly like
+        :meth:`EmbeddingStore.from_checkpoint`) or an already-built
+        :class:`EmbeddingStore`.  The replacement — embeddings, binary
+        sidecar, filter index — is **fully constructed and validated
+        before the old store is touched**; any failure (corrupt arrays,
+        checksum mismatch, wrong architecture, missing sidecar for a
+        binary-tier engine, vocabulary drift under a grafted filter)
+        raises and leaves the old store serving, cache intact.  On
+        success, one install step swaps the store, invalidates the LRU
+        cache (stale ``(tier, rerank_k)``-keyed answers must not survive
+        the swap) and re-arms the circuit breaker.
+
+        Defaults follow the running engine: same architecture, same
+        binary-tier requirement; with no ``dataset``, the old filter
+        index is grafted onto the new store when the entity vocabulary
+        matches (and refused loudly when it does not).
+
+        Reloading the very snapshot already served (same manifest digest)
+        is a no-op — cache kept warm — so a reload poller is idempotent.
+        Returns a summary dict (``swapped``, epochs, cache entries
+        dropped).
+        """
+        old = self.store
+        if isinstance(checkpoint, EmbeddingStore):
+            new = checkpoint
+        else:
+            if with_binary is None:
+                with_binary = self.tier == "binary" or old.binary is not None
+            name = model_name or old.model_name or "complex"
+            digest = ckpt.manifest_digest(checkpoint)
+            if digest == old.manifest_digest:
+                return {"swapped": False, "reason": "same manifest digest",
+                        "checkpoint": str(checkpoint), "epoch": old.epoch}
+            new = EmbeddingStore.from_checkpoint(
+                checkpoint, model_name=name, dataset=dataset,
+                with_binary=with_binary)
+        # -- validate the replacement against this engine's contract ------
+        if self.tier == "binary" and new.binary is None:
+            raise ValueError(
+                "reload onto a store without a binary sidecar, but this "
+                "engine serves tier='binary'; export a sidecar first or "
+                "reload with with_binary=True")
+        if new.binary is not None:
+            check_geometry(new.binary, new.model.entity_emb)
+        if new.filter_index is None and old.filter_index is not None:
+            if new.n_entities != old.n_entities:
+                raise ValueError(
+                    f"cannot graft the old filter index: new checkpoint "
+                    f"embeds {new.n_entities} entities, old store "
+                    f"{old.n_entities}; pass dataset= to rebuild it")
+            new.filter_index = old.filter_index
+        # -- install: a single swap step after full validation -------------
+        self.store = new
+        dropped = self.cache.invalidate()
+        if self.resilience is not None:
+            self.resilience.arm_binary(new.binary is not None)
+        self.stats.record_reload(old.epoch, new.epoch)
+        return {"swapped": True, "old_epoch": old.epoch,
+                "new_epoch": new.epoch,
+                "checkpoint": new.checkpoint_path,
+                "cache_entries_dropped": dropped}
 
     # -- misc ----------------------------------------------------------------
 
@@ -425,5 +640,6 @@ class QueryEngine:
         out = self.stats.snapshot()
         out.update(cache_size=len(self.cache),
                    cache_capacity=self.cache.capacity,
-                   cache_evictions=self.cache.evictions)
+                   cache_evictions=self.cache.evictions,
+                   cache_invalidations=self.cache.invalidations)
         return out

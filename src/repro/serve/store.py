@@ -56,6 +56,9 @@ class EmbeddingStore:
     #: Optional 1-bit candidate-generation tier (see
     #: :mod:`repro.serve.binary`); required by ``QueryEngine(tier="binary")``.
     binary: BinaryStore | None = None
+    #: SHA-256 of the snapshot's manifest (None for in-memory stores):
+    #: the cheap identity hot reload compares to skip no-op swaps.
+    manifest_digest: str | None = None
     _frozen: bool = field(init=False, default=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -131,7 +134,8 @@ class EmbeddingStore:
             check_geometry(binary, model.entity_emb)
         return cls(model=model, filter_index=index, epoch=state.epoch,
                    world_lineage=tuple(state.world_lineage),
-                   checkpoint_path=str(path), binary=binary)
+                   checkpoint_path=str(path), binary=binary,
+                   manifest_digest=ckpt.manifest_digest(path))
 
     @classmethod
     def from_model(cls, model: KGEModel,
@@ -154,6 +158,18 @@ class EmbeddingStore:
         return cls(model=model.copy(), filter_index=index, binary=binary)
 
     # -- introspection -----------------------------------------------------
+
+    @property
+    def model_name(self) -> str | None:
+        """Registry name of the served architecture (None if foreign).
+
+        Hot reload defaults to loading the new checkpoint as the same
+        architecture the old store serves.
+        """
+        for name, cls in MODEL_REGISTRY.items():
+            if type(self.model) is cls:
+                return name
+        return None
 
     @property
     def n_entities(self) -> int:

@@ -637,6 +637,20 @@ def load_for_serving(path: str | Path) -> CheckpointState:
     return load_checkpoint(resolve_checkpoint_dir(path))
 
 
+def manifest_digest(path: str | Path) -> str:
+    """SHA-256 of a checkpoint's manifest bytes: a cheap snapshot identity.
+
+    The manifest embeds every array's checksum, so two checkpoints with
+    equal manifests hold bitwise-equal arrays.  The serving layer's hot
+    reload uses this to detect no-op reloads (poll the same directory,
+    swap only when the snapshot actually changed) without reading the
+    array payload.  ``path`` resolves like every other read (a checkpoint
+    directory, or a parent whose latest snapshot is taken).
+    """
+    manifest = resolve_checkpoint_dir(path) / MANIFEST_NAME
+    return hashlib.sha256(manifest.read_bytes()).hexdigest()
+
+
 # ---------------------------------------------------------------------------
 # Sidecars: derived artifacts living next to a checkpoint
 # ---------------------------------------------------------------------------

@@ -26,6 +26,22 @@ class TestSpecValidation:
         with pytest.raises(ValueError, match="fractions"):
             TrafficSpec(tail_fraction=0.8, head_fraction=0.3)
 
+    def test_undersubscribed_fractions_rejected(self):
+        """Satellite: fractions must sum to 1 +- eps — a spec that quietly
+        leaves 20% of traffic unallocated is a config bug, and the error
+        names every fraction field."""
+        with pytest.raises(ValueError) as excinfo:
+            TrafficSpec(tail_fraction=0.4, head_fraction=0.3,
+                        score_fraction=0.1, nearest_fraction=0.0)
+        message = str(excinfo.value)
+        for field in ("tail_fraction", "head_fraction", "score_fraction",
+                      "nearest_fraction"):
+            assert field in message
+
+    def test_near_one_tolerated(self):
+        TrafficSpec(tail_fraction=0.45 + 1e-9, head_fraction=0.35,
+                    score_fraction=0.18, nearest_fraction=0.02)
+
     def test_negative_exponent_rejected(self):
         with pytest.raises(ValueError, match="exponent"):
             TrafficSpec(entity_exponent=-1.0)
@@ -81,13 +97,52 @@ class TestStream:
 
     def test_kind_mix_tracks_spec(self):
         spec = TrafficSpec(tail_fraction=0.5, head_fraction=0.3,
-                           score_fraction=0.1)
+                           score_fraction=0.1, nearest_fraction=0.1)
         queries = ZipfianTraffic(200, 10, spec=spec, seed=3).generate(20_000)
         fractions = np.bincount(queries["kind"], minlength=4) / len(queries)
         assert fractions[KIND_TAILS] == pytest.approx(0.5, abs=0.02)
         assert fractions[KIND_HEADS] == pytest.approx(0.3, abs=0.02)
         assert fractions[KIND_SCORE] == pytest.approx(0.1, abs=0.02)
         assert fractions[KIND_NEAREST] == pytest.approx(0.1, abs=0.02)
+
+
+class TestBursts:
+    """Overload phases: ``BurstSpec`` windows inflate the arrival rate
+    (bigger replay batches) without changing the query stream itself."""
+
+    def test_burst_inflates_window_sizes(self):
+        from repro.serve import BurstSpec
+        traffic = ZipfianTraffic(100, 5, seed=0,
+                                 bursts=(BurstSpec(64, 128, 4.0),))
+        sizes = [len(w) for w in traffic.batches(500, 64)]
+        assert sum(sizes) == 500            # exact coverage regardless
+        assert sizes[0] == 64               # pre-burst: nominal
+        assert max(sizes) == 256            # in-burst: 4x the batch
+        assert sizes[-1] < 64               # post-burst remainder
+
+    def test_bursty_stream_is_deterministic_and_windowing_only(self):
+        """Bursts change the *windowing* only: the same seeded generator
+        asked for the same window sizes by hand produces byte-identical
+        queries — the burst schedule never touches the query stream."""
+        from repro.serve import BurstSpec
+        bursts = (BurstSpec(50, 100, 8.0),)
+
+        def windows():
+            t = ZipfianTraffic(100, 5, seed=3, bursts=bursts)
+            return list(t.batches(400, 32))
+
+        a, b = windows(), windows()
+        assert [w.tobytes() for w in a] == [w.tobytes() for w in b]
+        manual = ZipfianTraffic(100, 5, seed=3)
+        for window in a:
+            assert manual.generate(len(window)).tobytes() == window.tobytes()
+
+    def test_fractional_factor_slows_arrivals(self):
+        from repro.serve import BurstSpec
+        traffic = ZipfianTraffic(100, 5, seed=0,
+                                 bursts=(BurstSpec(0, 1000, 0.25),))
+        sizes = [len(w) for w in traffic.batches(64, 32)]
+        assert sizes[0] == 8                # quarter-rate lull
 
 
 class TestSkew:
@@ -163,3 +218,52 @@ class TestReplay:
             ra, rb = a.cache.get(key), b.cache.get(key)
             assert np.array_equal(ra.entities, rb.entities)
             assert ra.scores.tobytes() == rb.scores.tobytes()
+
+    def test_per_query_errors_are_counted_not_fatal(self, monkeypatch):
+        """Satellite: one poisoned query must not kill the replay.  A
+        scorer that blows up for a single relation loses exactly that
+        relation's top-k queries — counted, first detail kept — while
+        every window-mate is still served."""
+        dataset = make_tiny_kg(seed=31)
+        model = ComplEx(dataset.n_entities, dataset.n_relations, 8, seed=31)
+        engine = QueryEngine(EmbeddingStore.from_model(model,
+                                                       dataset=dataset),
+                             cache_capacity=0)
+        real = engine._group_topk_dense
+
+        def flaky(anchors, rel, side, k, filt):
+            if rel == 1:
+                raise RuntimeError("injected scorer fault on relation 1")
+            return real(anchors, rel, side, k, filt)
+
+        monkeypatch.setattr(engine, "_group_topk_dense", flaky)
+        traffic = ZipfianTraffic(dataset.n_entities, dataset.n_relations,
+                                 seed=31)
+        snap = replay(engine, traffic, 600, batch_size=50, topk=5)
+
+        mirror = ZipfianTraffic(dataset.n_entities, dataset.n_relations,
+                                 seed=31)
+        queries = np.concatenate(list(mirror.batches(600, 50)))
+        poisoned = int(((queries["relation"] == 1) &
+                        ((queries["kind"] == KIND_TAILS) |
+                         (queries["kind"] == KIND_HEADS))).sum())
+        assert poisoned > 0
+        assert snap["errors"] == poisoned
+        assert snap["first_error"]["error"] == "RuntimeError"
+        assert "relation 1" in snap["first_error"]["detail"]
+        assert snap["first_error"]["kind"] in ("topk_tails", "topk_heads")
+        assert snap["first_error"]["query"][1] == 1
+        # Window-mates survived: the healthy relations still answer.
+        assert snap["n_queries"] >= 600 - poisoned
+        assert len(engine.topk_tails(0, 0, k=5)) == 5
+
+    def test_clean_replay_reports_zero_errors(self):
+        dataset = make_tiny_kg(seed=31)
+        model = ComplEx(dataset.n_entities, dataset.n_relations, 8, seed=31)
+        engine = QueryEngine(EmbeddingStore.from_model(model,
+                                                       dataset=dataset))
+        traffic = ZipfianTraffic(dataset.n_entities, dataset.n_relations,
+                                 seed=31)
+        snap = replay(engine, traffic, 200, batch_size=32, topk=5)
+        assert snap["errors"] == 0
+        assert snap["first_error"] is None
